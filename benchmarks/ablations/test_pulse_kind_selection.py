@@ -1,0 +1,60 @@
+"""Ablation: pulse-kind (h/l) selection.
+
+Sec. 5: "we have to select a suitable kind of pulse (h or l)".  This
+ablation shows why it is not optional: for single-edge defects the wrong
+kind makes the pulse *wider* — the fault escapes at any resistance.
+"""
+
+from repro.core import (build_instance, measure_output_pulse,
+                        select_pulse_kind)
+from repro.faults import InternalOpen, PULL_DOWN, PULL_UP
+from repro.reporting import format_table
+
+W_IN = 0.42e-9
+
+
+def collect(dt):
+    cases = [
+        ("pull-up open @2", InternalOpen(2, PULL_UP, 6e3)),
+        ("pull-down open @2", InternalOpen(2, PULL_DOWN, 6e3)),
+        ("pull-up open @3", InternalOpen(3, PULL_UP, 6e3)),
+    ]
+    rows = []
+    for label, fault in cases:
+        probe = build_instance()
+        chosen = select_pulse_kind(probe, fault)
+        per_kind = {}
+        for kind in ("h", "l"):
+            faulty = build_instance(fault=fault)
+            w_faulty, _ = measure_output_pulse(faulty, W_IN, kind=kind,
+                                               dt=dt)
+            healthy = build_instance()
+            w_healthy, _ = measure_output_pulse(healthy, W_IN, kind=kind,
+                                                dt=dt)
+            per_kind[kind] = (w_healthy, w_faulty)
+        rows.append([
+            label, chosen,
+            per_kind["h"][1] * 1e12 - per_kind["h"][0] * 1e12,
+            per_kind["l"][1] * 1e12 - per_kind["l"][0] * 1e12,
+        ])
+    return rows
+
+
+def test_pulse_kind_selection(benchmark, figure_printer, fast_dt):
+    rows = benchmark.pedantic(collect, args=(fast_dt,), rounds=1,
+                              iterations=1)
+    figure_printer(
+        "Ablation — pulse kind selection (w_in = {:.0f} ps, "
+        "R = 6 kohm)".format(W_IN * 1e12),
+        format_table(
+            ["fault", "selected kind",
+             "h: faulty - healthy w_out (ps)",
+             "l: faulty - healthy w_out (ps)"], rows))
+
+    for label, chosen, delta_h, delta_l in rows:
+        selected_delta = delta_h if chosen == "h" else delta_l
+        rejected_delta = delta_l if chosen == "h" else delta_h
+        # The selected kind shrinks the pulse (strongly negative delta);
+        # the rejected kind widens it (fault escapes).
+        assert selected_delta < -100.0, label
+        assert rejected_delta > 0.0, label

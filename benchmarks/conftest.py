@@ -1,0 +1,91 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+Each paper figure has one bench module.  The expensive electrical Monte
+Carlo sweeps are computed once per session here (setup, untimed); the
+benches then time the figure derivation and print the same series the
+paper plots.  ``REPRO_FAST=1`` shrinks populations and grids for smoke
+runs.
+
+Scale note: figure *shapes* (who wins, crossover ordering, spread
+ordering) are asserted; absolute resistances/widths are specific to the
+built-in technology, and EXPERIMENTS.md records both sides.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig
+
+
+def bench_samples():
+    return 6 if os.environ.get("REPRO_FAST") else 14
+
+
+def bench_dt():
+    return 5e-12 if os.environ.get("REPRO_FAST") else 3e-12
+
+
+def bench_r_points():
+    return 5 if os.environ.get("REPRO_FAST") else 9
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    n = bench_r_points()
+    return ExperimentConfig(
+        n_samples=bench_samples(),
+        dt=bench_dt(),
+        seed=1,
+        rop_resistances=list(np.geomspace(500.0, 40e3, n)),
+        bridging_resistances=list(np.geomspace(800.0, 30e3, n)),
+        n_paths=6 if os.environ.get("REPRO_FAST") else 10,
+    )
+
+
+@pytest.fixture(scope="session")
+def open_coverage_experiment(bench_config):
+    """Raw material for Figs. 6 & 7 (external resistive open)."""
+    from repro.core import run_open_coverage
+    return run_open_coverage(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bridging_coverage_experiment(bench_config):
+    """Raw material for Figs. 8 & 9 (resistive bridging)."""
+    from repro.core import run_bridging_coverage
+    return run_bridging_coverage(bench_config)
+
+
+@pytest.fixture(scope="session")
+def transfer_experiment(bench_config):
+    """Raw material for Fig. 10."""
+    from repro.core import run_transfer_experiment
+    return run_transfer_experiment(bench_config)
+
+
+@pytest.fixture(scope="session")
+def path_characterization(bench_config):
+    """Raw material for Fig. 11 (c432-class path screening)."""
+    from repro.core import run_path_characterization
+    return run_path_characterization(bench_config)
+
+
+def print_figure(title, body):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+
+
+@pytest.fixture(scope="session")
+def figure_printer():
+    """Fixture alias so benches in subdirectories (ablations/) can print
+    without importing this conftest by module name."""
+    return print_figure
+
+
+@pytest.fixture(scope="session")
+def fast_dt():
+    return bench_dt()

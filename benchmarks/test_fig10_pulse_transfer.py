@@ -1,0 +1,62 @@
+"""Fig. 10 — the w_out = f_p(w_in) transfer relation.
+
+Three regions: completely dampened, attenuation (steep and very
+sensitive to parameter fluctuations — to be avoided when placing ω_in),
+and asymptotic linear.  The bench regenerates the nominal curve plus the
+Monte Carlo scatter at the paper's candidate ω_in values (0.30-0.50 ns).
+"""
+
+from conftest import print_figure
+
+from repro.reporting import ascii_plot, format_table
+
+
+def build_figure(experiment):
+    curve = experiment.nominal_curve
+    nominal_rows = [(w * 1e12, o * 1e12)
+                    for w, o in zip(curve.w_in, curve.w_out)]
+    scatter_rows = []
+    for w in experiment.probe_widths:
+        values = experiment.sample_wouts[w]
+        scatter_rows.append([w * 1e12, min(values) * 1e12,
+                             max(values) * 1e12,
+                             experiment.spread(w) * 1e12])
+    return nominal_rows, scatter_rows
+
+
+def test_fig10_pulse_transfer(benchmark, transfer_experiment):
+    experiment = transfer_experiment
+    nominal_rows, scatter_rows = benchmark(build_figure, experiment)
+
+    curve = experiment.nominal_curve
+    body = format_table(["w_in (ps)", "w_out (ps)"], nominal_rows)
+    body += "\n\nMC scatter at candidate omega_in values:\n"
+    body += format_table(
+        ["w_in (ps)", "min w_out (ps)", "max w_out (ps)", "spread (ps)"],
+        scatter_rows)
+    body += "\n\n" + ascii_plot(
+        {"nominal": (list(curve.w_in), list(curve.w_out))},
+        x_label="w_in (s)", y_label="w_out (s)")
+    print_figure("Fig. 10 — pulse transfer relation w_out(w_in)", body)
+
+    # Region structure exists and is ordered.
+    dampened = curve.dampened_limit()
+    onset = curve.region3_onset()
+    assert dampened > 0.0
+    assert onset is not None
+    assert dampened < onset
+
+    # Asymptotic region: linear, slope ~1.
+    slopes = curve.slopes()
+    assert abs(slopes[-1] - 1.0) < 0.25
+
+    # The attenuation region is the fluctuation-sensitive one: the MC
+    # spread at the lowest probe (inside/near region 2) must exceed the
+    # spread at the highest probe (inside region 3) — the reason the
+    # paper's rule places omega_in at the onset of region 3.
+    spreads = [experiment.spread(w) for w in experiment.probe_widths]
+    assert spreads[0] > spreads[-1]
+
+    # In region 3 every instance propagates (no dampened samples).
+    for w in experiment.probe_widths[-2:]:
+        assert min(experiment.sample_wouts[w]) > 0.0

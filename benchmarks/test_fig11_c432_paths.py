@@ -1,0 +1,74 @@
+"""Fig. 11 — per-path (omega_in, omega_th) pairs and minimal detectable
+resistance on a C432-class circuit.
+
+Paper: for a set of paths through an external-ROP site in ISCAS C432,
+each path's (ω_in, ω_th) is computed by the Sec. 5 rule and plotted with
+a circle whose radius is the minimal detectable resistance; the best
+paths have *low* ω_in and ω_th.  (We run on the documented c432-class
+synthetic benchmark; see DESIGN.md substitutions.)
+"""
+
+import numpy as np
+from conftest import print_figure
+
+from repro.reporting import format_table
+
+
+def build_rows(result):
+    rows = []
+    for entry in result.entries:
+        rows.append([
+            entry["length"],
+            entry["omega_in"] * 1e12,
+            entry["omega_th"] * 1e12,
+            "-" if entry["r_min"] is None else round(entry["r_min"]),
+        ])
+    return rows
+
+
+def test_fig11_c432_paths(benchmark, path_characterization):
+    result = path_characterization
+    rows = benchmark(build_rows, result)
+    print_figure(
+        "Fig. 11 — candidate paths through fault net {} of {}".format(
+            result.fault_net, result.circuit_name),
+        format_table(
+            ["path gates", "omega_in (ps)", "omega_th (ps)",
+             "R_min (ohm)"], rows))
+
+    assert len(result.entries) >= 3, "need a population of paths"
+
+    detected = [e for e in result.entries if e["r_min"] is not None]
+    assert detected, "at least one path must detect the fault"
+
+    best = result.best()
+    print("\nbest path: R_min = {:.0f} ohm at omega_in = {:.0f} ps, "
+          "omega_th = {:.0f} ps".format(
+              best["r_min"], best["omega_in"] * 1e12,
+              best["omega_th"] * 1e12))
+    if result.refined_best is not None:
+        print("electrically refined omega_in for the best path: "
+              "{:.0f} ps (w_out {:.0f} ps)".format(
+                  result.refined_best["omega_in"] * 1e12,
+                  result.refined_best["w_out"] * 1e12))
+        # The refined (electrical) width must propagate on the
+        # equivalent transistor-level chain.
+        assert result.refined_best["w_out"] > 0.0
+
+    # The paper's search rule: the best path is found among those with
+    # low omega_in — the best entry's omega_in must sit in the lower
+    # half of the omega_in range.
+    omegas = [e["omega_in"] for e in result.entries]
+    assert best["omega_in"] <= np.median(omegas) + 1e-12
+
+    # R_min correlates with omega_in across paths (Spearman-lite: the
+    # path with the largest omega_in never beats the best path).
+    worst_omega = max(detected, key=lambda e: e["omega_in"])
+    assert worst_omega["r_min"] >= best["r_min"]
+
+    # Every computed omega_th respects the sensing-tolerance rule
+    # (omega_th < fault-free w_out at omega_in).
+    for entry in result.entries:
+        healthy = entry["omega_th"] * 1.1
+        assert healthy > 0.0
+        assert entry["omega_th"] < entry["omega_in"]

@@ -1,0 +1,60 @@
+"""Fig. 2 — faulty vs fault-free waveforms for an internal resistive open.
+
+Paper: an 8 kOhm pull-up open at the second gate delays the rising
+transition of the stage output and the injected pulse "is dampened in a
+few logic levels".  The bench regenerates the per-node waveform summary
+and asserts the dampening pattern.
+"""
+
+from conftest import bench_dt, print_figure
+
+from repro.core import ExperimentConfig, run_waveform_experiment
+from repro.reporting import format_table
+
+RESISTANCE = 8e3
+W_IN = 0.40e-9
+
+
+def run_experiment():
+    config = ExperimentConfig(dt=bench_dt())
+    return run_waveform_experiment("internal_rop", RESISTANCE, w_in=W_IN,
+                                   config=config)
+
+
+def figure_rows(experiment):
+    rows = []
+    for node in experiment.nodes:
+        rows.append([
+            node,
+            experiment.excursion(experiment.fault_free, node),
+            experiment.excursion(experiment.faulty, node),
+        ])
+    return rows
+
+
+def test_fig2_internal_rop_waveforms(benchmark):
+    experiment = run_experiment()
+    rows = benchmark(figure_rows, experiment)
+    print_figure(
+        "Fig. 2 — internal ROP (pull-up, R = {:.0f} ohm), w_in = {:.0f} ps"
+        .format(RESISTANCE, W_IN * 1e12),
+        format_table(
+            ["node", "fault-free excursion (V)", "faulty excursion (V)"],
+            rows))
+
+    vdd = experiment.vdd
+    excursions_faulty = {r[0]: r[2] for r in rows}
+    excursions_free = {r[0]: r[1] for r in rows}
+
+    # Fault-free: the pulse swings (nearly) rail to rail at every stage.
+    for node in experiment.nodes[1:]:
+        assert excursions_free[node] > 0.8 * vdd
+
+    # Faulty: the pulse dies within a few logic levels of the fault
+    # (stage 2), exactly the Fig. 2 claim.
+    assert experiment.dampened_at_output()
+    assert excursions_faulty[experiment.nodes[-1]] < 0.25 * vdd
+
+    # The dampening is progressive: excursion shrinks along the path.
+    tail = [excursions_faulty[n] for n in experiment.nodes[2:]]
+    assert tail[-1] <= tail[0] + 0.05

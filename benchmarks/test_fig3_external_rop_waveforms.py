@@ -1,0 +1,79 @@
+"""Fig. 3 — faulty vs fault-free waveforms for an external resistive open.
+
+Paper: the open on the fan-out branch B->C degrades the slopes of *both*
+transitions of the branch node; the pulse shrinks into an incomplete
+pulse and (for pulses comparable with the degraded transition time) is
+dampened.  External opens are milder than internal ones at equal R, so
+the bench shows both the paper's 8 kOhm point (visible shrinkage) and a
+larger R where the pulse dies in this technology.
+"""
+
+from conftest import bench_dt, print_figure
+
+from repro.core import (ExperimentConfig, run_waveform_experiment)
+from repro.reporting import format_table
+
+W_IN = 0.40e-9
+R_PAPER = 8e3
+R_KILL = 20e3
+
+
+def run_experiments():
+    config = ExperimentConfig(dt=bench_dt())
+    return {
+        r: run_waveform_experiment("external_rop", r, w_in=W_IN,
+                                   config=config)
+        for r in (R_PAPER, R_KILL)
+    }
+
+
+def figure_rows(experiments):
+    rows = []
+    reference = experiments[R_PAPER]
+    for node in reference.nodes:
+        rows.append([
+            node,
+            reference.excursion(reference.fault_free, node),
+            experiments[R_PAPER].excursion(
+                experiments[R_PAPER].faulty, node),
+            experiments[R_KILL].excursion(
+                experiments[R_KILL].faulty, node),
+        ])
+    return rows
+
+
+def test_fig3_external_rop_waveforms(benchmark):
+    experiments = run_experiments()
+    rows = benchmark(figure_rows, experiments)
+    print_figure(
+        "Fig. 3 — external ROP on the stage-2 fan-out branch, "
+        "w_in = {:.0f} ps".format(W_IN * 1e12),
+        format_table(
+            ["node", "fault-free (V)",
+             "R={:.0f} (V)".format(R_PAPER),
+             "R={:.0f} (V)".format(R_KILL)], rows))
+
+    from repro.core import measure_output_pulse
+    from repro.faults import ExternalOpen, InternalOpen, PULL_UP, inject
+    from repro.core import build_instance
+
+    dt = bench_dt()
+    healthy = build_instance()
+    w_ff, _ = measure_output_pulse(healthy, W_IN, dt=dt)
+    w_8k, _ = measure_output_pulse(
+        build_instance(fault=ExternalOpen(2, R_PAPER)), W_IN, dt=dt)
+    w_20k, _ = measure_output_pulse(
+        build_instance(fault=ExternalOpen(2, R_KILL)), W_IN, dt=dt)
+    w_int8k, _ = measure_output_pulse(
+        build_instance(fault=InternalOpen(2, PULL_UP, R_PAPER)), W_IN,
+        dt=dt)
+
+    # Both edges degraded -> width shrinks monotonically with R, and the
+    # pulse eventually dies.
+    assert w_8k < w_ff
+    assert w_20k < w_8k
+    assert w_20k == 0.0
+
+    # Sec. 2: "the effects of internal ROPs are more relevant than those
+    # of external ROPs" at equal resistance.
+    assert w_int8k < w_8k

@@ -1,0 +1,47 @@
+"""Fig. 6 — C_del(R) for an external resistive open.
+
+Reduced-clock delay-fault testing at T' in {0.9, 1.0, 1.1} x T*: coverage
+rises with R, and the three curves are widely separated — DF testing is
+very sensitive to clock-period fluctuation, which is the weakness the
+pulse method addresses.
+"""
+
+from conftest import print_figure
+
+from repro.core.coverage import (delay_coverage,
+                                 detected_fraction_is_monotonic)
+from repro.reporting import ascii_plot, coverage_table
+
+
+def test_fig6_cdel_rop(benchmark, open_coverage_experiment):
+    experiment = open_coverage_experiment
+
+    result = benchmark(
+        delay_coverage,
+        experiment.delay.raw,
+        experiment.samples,
+        experiment.resistances,
+        experiment.dftest)
+
+    series = {label: (result.curve(label).resistances,
+                      result.curve(label).coverage)
+              for label in result.labels()}
+    print_figure(
+        "Fig. 6 — C_del(R), external ROP, T* = {:.0f} ps".format(
+            experiment.dftest.t_star * 1e12),
+        coverage_table(result) + "\n\n" + ascii_plot(
+            series, x_label="R (ohm)", y_label="C_del"))
+
+    # Shape assertions (paper claims):
+    for label in result.labels():
+        curve = result.curve(label)
+        # coverage monotone non-decreasing in R for opens
+        assert detected_fraction_is_monotonic(curve, tolerance=0.3)
+        # full coverage for gross defects
+        assert curve.coverage[-1] == 1.0
+    # lower T' detects smaller R everywhere
+    tight = result.curve("0.9*T").coverage
+    loose = result.curve("1.1*T").coverage
+    assert all(t >= l for t, l in zip(tight, loose))
+    # the 10% clock fluctuation visibly moves the curve
+    assert sum(tight) > sum(loose)

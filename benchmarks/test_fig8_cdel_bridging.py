@@ -1,0 +1,48 @@
+"""Fig. 8 — C_del(R) for a resistive bridging fault.
+
+Paper: above the critical resistance the bridging-induced extra delay
+"rapidly decreases with R", so C_del *decays* with R — the range of
+resistances detectable by reduced-clock testing is narrow.
+"""
+
+from conftest import print_figure
+
+from repro.core.coverage import delay_coverage
+from repro.reporting import ascii_plot, coverage_table
+
+
+def test_fig8_cdel_bridging(benchmark, bridging_coverage_experiment):
+    experiment = bridging_coverage_experiment
+
+    result = benchmark(
+        delay_coverage,
+        experiment.delay.raw,
+        experiment.samples,
+        experiment.resistances,
+        experiment.dftest)
+
+    series = {label: (result.curve(label).resistances,
+                      result.curve(label).coverage)
+              for label in result.labels()}
+    print_figure(
+        "Fig. 8 — C_del(R), resistive bridging, T* = {:.0f} ps".format(
+            experiment.dftest.t_star * 1e12),
+        coverage_table(result) + "\n\n" + ascii_plot(
+            series, x_label="R (ohm)", y_label="C_del"))
+
+    for label in result.labels():
+        curve = result.curve(label)
+        # decays with R: the tail must fall below the peak...
+        peak = max(curve.coverage)
+        assert curve.coverage[-1] <= peak
+        # ...and large-R bridges escape reduced-clock testing entirely
+        # at the loosest setting.
+    assert result.curve("1.1*T").coverage[-1] == 0.0
+
+    # lower T' still detects more at every R
+    tight = result.curve("0.9*T").coverage
+    loose = result.curve("1.1*T").coverage
+    assert all(t >= l for t, l in zip(tight, loose))
+
+    # coverage is non-trivial near the critical resistance (smallest R)
+    assert result.curve("0.9*T").coverage[0] > 0.0

@@ -1,0 +1,85 @@
+"""Performance benchmarks of the electrical substrate itself.
+
+These are the only benches where pytest-benchmark's statistics matter:
+they track the cost of the primitive operations every experiment is
+built from, so performance regressions in the MNA core show up here.
+"""
+
+import pytest
+
+from repro.cells import build_path
+from repro.spice import operating_point, run_transient
+from repro.spice.mna import CompiledCircuit
+from repro.spice.dcop import solve_dc
+
+
+@pytest.fixture(scope="module")
+def reference_path():
+    return build_path()
+
+
+def test_perf_compile(benchmark, reference_path):
+    """Netlist -> numeric lowering of the reference path."""
+    result = benchmark(CompiledCircuit, reference_path.circuit)
+    assert result.n_nodes > 5
+
+
+def test_perf_dc_operating_point(benchmark, reference_path):
+    """Newton DC solve of the 7-gate sensitized path."""
+    compiled = CompiledCircuit(reference_path.circuit)
+    x = benchmark(solve_dc, compiled)
+    assert abs(x).max() <= reference_path.tech.vdd * 1.2
+
+
+def test_perf_short_transient(benchmark, reference_path):
+    """A 0.5 ns transient at 4 ps on the reference path (~125 steps)."""
+    reference_path.set_input_pulse(0.3e-9, kind="h")
+
+    def run():
+        return run_transient(reference_path.circuit, 0.5e-9, 4e-12,
+                             record=[reference_path.output_node])
+
+    waveform = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(waveform.t) > 100
+
+
+def test_perf_full_pulse_measurement(benchmark, reference_path):
+    """The workhorse: one complete w_out measurement."""
+    from repro.core import measure_output_pulse
+
+    def run():
+        return measure_output_pulse(reference_path, 0.42e-9, dt=4e-12)
+
+    w_out, _ = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert w_out > 0.3e-9
+
+
+def test_perf_logic_event_simulation(benchmark):
+    """Event-driven run over the c432-class netlist."""
+    from repro.logic import GateTiming, TimingSimulator, generate_c432_like
+
+    netlist = generate_c432_like()
+    sim = TimingSimulator(netlist, timing=GateTiming())
+    vector = {pi: 0 for pi in netlist.primary_inputs}
+    pi = netlist.primary_inputs[0]
+
+    def run():
+        return sim.run(vector, events=[(1e-9, pi, 1)], t_end=50e-9)
+
+    trace = benchmark(run)
+    assert trace.t_end == 50e-9
+
+
+def test_perf_atpg_sensitization(benchmark):
+    """One PODEM sensitization on the c432-class netlist."""
+    from repro.logic import generate_c432_like, paths_through, sensitize_path
+
+    netlist = generate_c432_like()
+    from repro.core.experiments import _pick_fault_site
+    net = _pick_fault_site(netlist)
+    path = paths_through(netlist, net, max_paths=4)[0]
+
+    result = benchmark(sensitize_path, netlist, path)
+    # the picked site may or may not sensitize on its first path; the
+    # bench tracks cost, not outcome
+    assert result is None or result.assignment is not None

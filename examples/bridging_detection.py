@@ -1,0 +1,58 @@
+"""Bridging faults: where pulse propagation clearly wins.
+
+Reproduces the paper's Sec. 4 bridging scenario (Figs. 8/9) at example
+scale.  Above the critical resistance a bridge adds only a small, fast-
+shrinking delay — reduced-clock testing loses it almost immediately —
+while the injected pulse is still dampened over a much wider resistance
+range.
+
+Run:  python examples/bridging_detection.py
+"""
+
+from repro.core import (build_instance, measure_output_pulse,
+                        measure_path_delay)
+from repro.faults import BridgingFault
+from repro.reporting import format_table
+
+W_IN = 0.40e-9
+RESISTANCES = [1.5e3, 2.5e3, 5e3, 10e3, 20e3, 40e3]
+
+
+def main():
+    healthy = build_instance()
+    d_ff, _ = measure_path_delay(healthy, "rise")
+    w_ff, _ = measure_output_pulse(healthy, W_IN)
+    print("fault-free: path delay = {:.0f} ps, w_out = {:.0f} ps"
+          .format(d_ff * 1e12, w_ff * 1e12))
+
+    rows = []
+    for r in RESISTANCES:
+        faulty = build_instance(fault=BridgingFault(2, r))
+        d, _ = measure_path_delay(faulty, "rise")
+        w_out, _ = measure_output_pulse(faulty, W_IN)
+        extra = (d - d_ff) * 1e12
+        rows.append([
+            r,
+            "{:.0f}".format(extra),
+            "{:.0f}".format(w_out * 1e12),
+            "yes" if w_out == 0.0 else "no",
+        ])
+
+    print("\nbridging fault at the stage-2 output "
+          "(steady aggressor, Fig. 4):")
+    print(format_table(
+        ["R (ohm)", "extra delay (ps)", "w_out (ps)",
+         "pulse dampened?"], rows))
+
+    print(
+        "\nReading the table:\n"
+        "- the extra delay decays rapidly with R (Fig. 8): a reduced\n"
+        "  clock period can only catch the first row or two;\n"
+        "- the output pulse width stays collapsed far beyond that\n"
+        "  (Fig. 9): the pulse test covers a much wider R band, because\n"
+        "  the bridge fights the pulse's excursion even when the\n"
+        "  steady-state delay penalty is negligible.")
+
+
+if __name__ == "__main__":
+    main()

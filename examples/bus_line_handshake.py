@@ -1,0 +1,67 @@
+"""Testing a bus line with pulses under a handshake protocol.
+
+The paper's conclusion: "Since the proposed method is completely
+independent of synchronization constraints, it can also be used to test
+bus lines using handshake protocols to transfer data."
+
+This example builds a driver -> distributed-RC-wire -> receiver bus
+segment, injects resistive vias of growing strength, and runs the pulse
+test as a handshake transaction:
+
+    REQ  — the near end launches the test pulse onto the line;
+    ACK  — the far-end transition detector (conceptually) acknowledges
+           iff the pulse arrived.
+
+No clock appears anywhere: the decision is local to the far end.
+
+Run:  python examples/bus_line_handshake.py
+"""
+
+from repro.cells import build_bus_line, inject_wire_open
+from repro.core import PulseDetector
+from repro.reporting import format_table
+from repro.spice import run_transient
+
+W_IN = 0.42e-9
+DT = 4e-12
+
+
+def transaction(bus, detector):
+    """One REQ/ACK handshake: launch the pulse, decode the far end."""
+    bus.set_input_pulse(W_IN, kind="h")
+    waveform = run_transient(bus.circuit, 5e-9, DT,
+                             record=[bus.output_node])
+    w_out = waveform.widest_pulse(bus.output_node, bus.tech.vdd_half,
+                                  "high")
+    ack = detector.transition_seen(w_out)
+    return w_out, ack
+
+
+def main():
+    bus = build_bus_line(n_segments=8)
+    detector = PulseDetector(omega_th=0.25e-9)
+    print("bus: {} wire segments, detector threshold {:.0f} ps\n".format(
+        bus.n_segments, detector.omega_th * 1e12))
+
+    w_out, ack = transaction(bus, detector)
+    print("healthy line:  w_out = {:.0f} ps, ACK = {}".format(
+        w_out * 1e12, ack))
+
+    rows = []
+    for resistance in (1e3, 2e3, 4e3, 8e3, 16e3):
+        faulty = inject_wire_open(bus, segment=4, resistance=resistance)
+        w_out, ack = transaction(faulty, detector)
+        rows.append([resistance, "{:.0f}".format(w_out * 1e12),
+                     "ACK" if ack else "no ACK -> FAULT"])
+    print("\nresistive via at segment 4:")
+    print(format_table(["R (ohm)", "w_out (ps)", "handshake outcome"],
+                       rows))
+
+    print(
+        "\nA missing ACK identifies the defective line without any "
+        "clock:\nthe same pulse-dampening physics as on logic paths, "
+        "framed by the\nbus handshake.")
+
+
+if __name__ == "__main__":
+    main()

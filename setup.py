@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` must use the legacy ``setup.py develop`` path; project
+metadata lives in pyproject.toml and is duplicated minimally here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Pulse propagation for the detection of small delay "
+                 "defects (Favalli & Metra, DATE 2007) - reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={"console_scripts": ["pulsetest=repro.cli:main"]},
+)

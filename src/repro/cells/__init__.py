@@ -1,0 +1,21 @@
+"""Transistor-level CMOS cells, technology and sensitized-path builders."""
+
+from .bus import BusLineCircuit, build_bus_line, inject_wire_open
+from .chain import PathCircuit, build_path
+from .flipflop import (FlipFlopCircuit, build_dff, build_transmission_gate,
+                       flipflop_timing_from_electrical, measure_clk_to_q,
+                       measure_setup_time)
+from .library import (CellInstance, GATE_KINDS, build_gate, build_inverter,
+                      build_nand, build_nor, unit_device_factors)
+from .technology import Technology, default_technology
+
+__all__ = [
+    "Technology", "default_technology",
+    "CellInstance", "GATE_KINDS", "build_gate", "build_inverter",
+    "build_nand", "build_nor", "unit_device_factors",
+    "PathCircuit", "build_path",
+    "BusLineCircuit", "build_bus_line", "inject_wire_open",
+    "FlipFlopCircuit", "build_dff", "build_transmission_gate",
+    "measure_clk_to_q", "measure_setup_time",
+    "flipflop_timing_from_electrical",
+]

@@ -1,0 +1,129 @@
+"""Bus-line structures (the conclusions' handshake-bus use case).
+
+"Since the proposed method is completely independent of synchronization
+constraints, it can also be used to test bus lines using handshake
+protocols to transfer data."
+
+A bus line here is driver -> distributed RC interconnect -> receiver.
+Resistive vias along the wire are the classic open-defect location; the
+pulse test needs no clock at either end, so a request/acknowledge
+handshake can frame it.
+"""
+
+from ..spice import Circuit, Dc
+from ..spice.errors import NetlistError
+from .library import build_inverter, unit_device_factors
+from .technology import default_technology
+
+
+class BusLineCircuit:
+    """A built bus line plus measurement metadata."""
+
+    def __init__(self, circuit, tech, wire_nodes, input_source,
+                 driver_cell, receiver_cell):
+        self.circuit = circuit
+        self.tech = tech
+        #: wire nodes from the driver output to the receiver input
+        self.wire_nodes = list(wire_nodes)
+        self.input_source = input_source
+        self.driver_cell = driver_cell
+        self.receiver_cell = receiver_cell
+
+    @property
+    def input_node(self):
+        return "bus_in"
+
+    @property
+    def output_node(self):
+        return "bus_out"
+
+    @property
+    def n_segments(self):
+        return len(self.wire_nodes) - 1
+
+    def set_input_pulse(self, width, kind="h", delay=None, edge=None):
+        """Same stimulus contract as PathCircuit.set_input_pulse."""
+        from ..spice.sources import make_stimulus
+        from ..spice import Pulse
+        edge = self.tech.edge_time if edge is None else edge
+        delay = 4 * edge if delay is None else delay
+        flat = max(width - edge, 0.0)
+        if kind == "h":
+            v1, v2 = 0.0, self.tech.vdd
+        elif kind == "l":
+            v1, v2 = self.tech.vdd, 0.0
+        else:
+            raise NetlistError("pulse kind must be 'h' or 'l'")
+        self.circuit.element(self.input_source).stimulus = make_stimulus(
+            Pulse(v1, v2, delay=delay, rise=edge, width=flat, fall=edge))
+        return delay
+
+    def copy(self):
+        return BusLineCircuit(self.circuit.copy(), self.tech,
+                              self.wire_nodes, self.input_source,
+                              self.driver_cell, self.receiver_cell)
+
+    def __repr__(self):
+        return "BusLineCircuit({} wire segments)".format(self.n_segments)
+
+
+def build_bus_line(tech=None, n_segments=8, wire_resistance=600.0,
+                   wire_capacitance=180e-15, driver_strength=4.0,
+                   device_factors=None, title="bus line"):
+    """Driver + distributed-RC wire + receiver.
+
+    ``wire_resistance``/``wire_capacitance`` are wire totals, split
+    evenly over ``n_segments`` pi-ish sections (C at segment ends).
+    """
+    if n_segments < 1:
+        raise NetlistError("need at least one wire segment")
+    tech = default_technology() if tech is None else tech
+    device_factors = (unit_device_factors if device_factors is None
+                      else device_factors)
+
+    circuit = Circuit(title)
+    circuit.add_vsource("VDD", "vdd", "0", Dc(tech.vdd))
+    circuit.add_vsource("VIN", "bus_in", "0", Dc(0.0))
+
+    driver = build_inverter(circuit, "busdrv", "bus_in", "w0", tech,
+                            device_factors=device_factors,
+                            strength=driver_strength)
+
+    r_seg = wire_resistance / n_segments
+    c_seg = wire_capacitance / n_segments
+    wire_nodes = ["w0"]
+    circuit.add_capacitor("cw0", "w0", "0", 0.5 * c_seg)
+    for i in range(1, n_segments + 1):
+        node = "w{}".format(i)
+        circuit.add_resistor("rw{}".format(i), wire_nodes[-1], node,
+                             r_seg)
+        cap = c_seg if i < n_segments else 0.5 * c_seg
+        circuit.add_capacitor("cw{}".format(i), node, "0", cap)
+        wire_nodes.append(node)
+
+    # Driver and receiver invert once each, so bus_out tracks the input
+    # pulse polarity.
+    receiver = build_inverter(circuit, "busrcv", wire_nodes[-1],
+                              "bus_out", tech,
+                              device_factors=device_factors,
+                              strength=1.5)
+    return BusLineCircuit(circuit, tech, wire_nodes, "VIN", driver,
+                          receiver)
+
+
+def inject_wire_open(bus, segment, resistance, res_name="R_fault"):
+    """Resistive via at the boundary entering wire segment ``segment``.
+
+    Implemented as extra series resistance in that segment's resistor —
+    a partial break of the corresponding via/wire piece.
+    """
+    if not 1 <= segment <= bus.n_segments:
+        raise NetlistError("segment {} out of range".format(segment))
+    faulty = bus.copy()
+    circuit = faulty.circuit
+    wire_res = circuit.element("rw{}".format(segment))
+    mid = circuit.new_node("via")
+    downstream = wire_res.node("n")
+    wire_res.rewire("n", mid)
+    circuit.add_resistor(res_name, mid, downstream, resistance)
+    return faulty

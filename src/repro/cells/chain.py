@@ -1,0 +1,196 @@
+"""Sensitized-path circuit builder.
+
+This reproduces the paper's experimental structure: a path of ``n`` CMOS
+gates with every side input tied to its non-controlling value, the path
+input driven by an ideal source (pulse generator / launching flip-flop
+abstraction), realistic fan-out loading at each stage, and an explicit side
+fan-out gate at the stage targeted by external-open experiments (Fig. 1b:
+node B drives the on-path branch B->C and an off-path sink).
+"""
+
+from ..spice import Circuit, Dc, Pulse
+from ..spice.errors import NetlistError
+from .library import build_gate, build_inverter, unit_device_factors
+from .technology import default_technology
+
+
+class PathCircuit:
+    """A built sensitized path plus everything needed to measure it."""
+
+    def __init__(self, circuit, tech, stage_nodes, cells, input_source,
+                 vdd_node="vdd", side_fanout_cells=None):
+        self.circuit = circuit
+        self.tech = tech
+        #: node names along the path: stage_nodes[0] is the driven input,
+        #: stage_nodes[-1] the path output (a PO in the paper's setting)
+        self.stage_nodes = list(stage_nodes)
+        self.cells = list(cells)
+        self.input_source = input_source
+        self.vdd_node = vdd_node
+        self.side_fanout_cells = dict(side_fanout_cells or {})
+
+    @property
+    def input_node(self):
+        return self.stage_nodes[0]
+
+    @property
+    def output_node(self):
+        return self.stage_nodes[-1]
+
+    @property
+    def n_gates(self):
+        return len(self.cells)
+
+    def inversions_to(self, stage_index):
+        """Number of logic inversions from the input to stage output
+        ``stage_index`` (1-based; 0 = the path input itself)."""
+        return sum(1 for cell in self.cells[:stage_index] if cell.inverting)
+
+    def idle_level(self, stage_index, input_level):
+        """Static logic value of stage node ``stage_index`` when the input
+        idles at ``input_level`` (0/1)."""
+        if self.inversions_to(stage_index) % 2 == 0:
+            return input_level
+        return 1 - input_level
+
+    def set_input(self, stimulus):
+        """Replace the input source stimulus."""
+        from ..spice.sources import make_stimulus
+        self.circuit.element(self.input_source).stimulus = (
+            make_stimulus(stimulus))
+
+    def set_input_pulse(self, width, kind="h", delay=None, edge=None):
+        """Drive the input with a pulse of the given 50 %-width.
+
+        ``kind="h"`` is a 0->VDD->0 pulse, ``kind="l"`` VDD->0->VDD.  The
+        ``width`` argument is interpreted at the 50 % level, so the flat
+        top is ``width - edge`` long (SPICE ``pw`` counts only the flat
+        part and each ramp contributes half an edge at 50 %).
+        """
+        tech = self.tech
+        edge = tech.edge_time if edge is None else edge
+        delay = 4 * edge if delay is None else delay
+        flat = width - edge
+        if flat < 0.0:
+            # Narrower than one edge: keep ramps but shrink the plateau
+            # to zero; the 50%-width is then ~edge (the floor for the
+            # injector hardware).
+            flat = 0.0
+        if kind == "h":
+            v1, v2 = 0.0, tech.vdd
+        elif kind == "l":
+            v1, v2 = tech.vdd, 0.0
+        else:
+            raise NetlistError("pulse kind must be 'h' or 'l'")
+        self.set_input(Pulse(v1, v2, delay=delay, rise=edge, width=flat,
+                             fall=edge))
+        return delay
+
+    def set_input_transition(self, direction="rise", delay=None, edge=None):
+        """Drive the input with a single transition (DF-testing stimulus)."""
+        tech = self.tech
+        edge = tech.edge_time if edge is None else edge
+        delay = 4 * edge if delay is None else delay
+        if direction == "rise":
+            v1, v2 = 0.0, tech.vdd
+        elif direction == "fall":
+            v1, v2 = tech.vdd, 0.0
+        else:
+            raise NetlistError("direction must be 'rise' or 'fall'")
+        # A one-shot transition: a pulse whose plateau outlasts any window.
+        self.set_input(Pulse(v1, v2, delay=delay, rise=edge, width=1.0,
+                             fall=edge))
+        return delay
+
+    def cell_at(self, stage_index):
+        """Cell driving stage node ``stage_index`` (1-based)."""
+        if not 1 <= stage_index <= self.n_gates:
+            raise NetlistError(
+                "stage index {} out of range".format(stage_index))
+        return self.cells[stage_index - 1]
+
+    def copy(self):
+        clone = PathCircuit(
+            self.circuit.copy(), self.tech, self.stage_nodes, self.cells,
+            self.input_source, self.vdd_node, self.side_fanout_cells)
+        return clone
+
+
+def build_path(tech=None, gate_kinds=("inv",) * 7, device_factors=None,
+               fanout_loads=2, side_fanout_stages=(2,), input_idle=0,
+               title="sensitized path"):
+    """Build the paper's sensitized-path test structure.
+
+    Parameters
+    ----------
+    tech:
+        Technology (defaults to :func:`default_technology`).
+    gate_kinds:
+        Gate kind per stage, e.g. ``("inv", "nand2", ...)``; length sets
+        the path length (paper: 7 gates).
+    device_factors:
+        Per-device variation callable ``name -> (kp_f, vt_f, c_f)``.
+    fanout_loads:
+        Equivalent fan-out (in unit-gate input capacitances) loading every
+        stage output in addition to the on-path gate and wire.
+    side_fanout_stages:
+        1-based stage indices that receive a *real* side inverter on their
+        output (the off-path branch of Fig. 1b).  External-open injection
+        splits the net between these sinks and the on-path sink.
+    input_idle:
+        Idle logic value of the path input; pulses start from it.
+    """
+    tech = default_technology() if tech is None else tech
+    device_factors = unit_device_factors if device_factors is None else (
+        device_factors)
+
+    circuit = Circuit(title)
+    circuit.add_vsource("VDD", "vdd", "0", Dc(tech.vdd))
+    idle_v = tech.vdd if input_idle else 0.0
+    circuit.add_vsource("VIN", "a0", "0", Dc(idle_v))
+
+    stage_nodes = ["a0"]
+    cells = []
+    side_fanout_cells = {}
+
+    for i, kind in enumerate(gate_kinds, start=1):
+        in_node = stage_nodes[-1]
+        out_node = "a{}".format(i)
+        cell, side_nodes = build_gate(
+            circuit, kind, "g{}".format(i), in_node, out_node, tech,
+            device_factors=device_factors)
+        # Tie side inputs to sensitizing values (Sec. 3 of the paper):
+        # uniform non-controlling for NAND/NOR, per-pin values for
+        # complex AOI/OAI gates.
+        for side in side_nodes:
+            if cell.side_ties is not None:
+                value = cell.side_ties[side]
+            else:
+                value = cell.noncontrolling_value()
+            _tie_node(circuit, side, "vdd" if value == 1 else "0")
+        # Fan-out loading: equivalent capacitance of `fanout_loads` unit
+        # gate inputs.
+        if fanout_loads > 0:
+            c_fan = fanout_loads * tech.gate_input_capacitance()
+            circuit.add_capacitor("g{}.cfan".format(i), out_node, "0", c_fan)
+        # Real off-path sink (needed as the healthy branch for external
+        # opens and as the observable aggressor neighbourhood).
+        if i in set(side_fanout_stages):
+            side_cell = build_inverter(
+                circuit, "g{}s".format(i), out_node, "a{}s".format(i), tech,
+                device_factors=device_factors)
+            circuit.add_capacitor(
+                "g{}s.cl".format(i), "a{}s".format(i), "0",
+                2 * tech.gate_input_capacitance())
+            side_fanout_cells[i] = side_cell
+        cells.append(cell)
+        stage_nodes.append(out_node)
+
+    return PathCircuit(circuit, tech, stage_nodes, cells, "VIN",
+                       side_fanout_cells=side_fanout_cells)
+
+
+def _tie_node(circuit, node, rail):
+    """Tie ``node`` to a rail by rewiring every terminal referencing it."""
+    for element in circuit.elements():
+        element.rewire_node(node, rail)

@@ -1,0 +1,177 @@
+"""Transistor-level D flip-flop (transmission-gate master-slave).
+
+The DF-testing baseline's timing parameters τ_CQ and τ_DC (setup) are
+behavioural inputs in Sec. 4; this cell lets the repository *measure*
+them electrically instead of assuming them:
+
+    d --TG(clk=0)--+-- inv -- m2 --TG(clk=1)--+-- inv -- q
+                   |feedback inv, TG(clk=1)   |feedback inv, TG(clk=0)
+
+``measure_clk_to_q`` and ``measure_setup_time`` drive the cell through
+real transients; :func:`flipflop_timing_from_electrical` packages the
+results as the behavioural :class:`repro.dft.FlipFlopTiming`.
+"""
+
+from ..spice import Circuit, Dc, Pulse, run_transient
+from .library import _params, build_inverter, unit_device_factors
+from .technology import default_technology
+
+
+def build_transmission_gate(circuit, name, a, b, ctrl, ctrl_b, tech,
+                            device_factors=unit_device_factors,
+                            vdd="vdd", strength=1.0):
+    """NMOS+PMOS pass gate between ``a`` and ``b``.
+
+    Conducting when ``ctrl`` is high (NMOS gate) / ``ctrl_b`` low.
+    """
+    wn = tech.wn_unit * strength
+    wp = tech.wp_unit * strength
+    mn = "{}.MN".format(name)
+    mp = "{}.MP".format(name)
+    circuit.add_nmos(mn, a, ctrl, b, "0", wn, tech.length,
+                     _params(tech, "nmos", wn, mn, device_factors))
+    circuit.add_pmos(mp, a, ctrl_b, b, vdd, wp, tech.length,
+                     _params(tech, "pmos", wp, mp, device_factors))
+    return mn, mp
+
+
+class FlipFlopCircuit:
+    """A built DFF plus its stimulus handles."""
+
+    def __init__(self, circuit, tech, d_source, clk_source):
+        self.circuit = circuit
+        self.tech = tech
+        self.d_source = d_source
+        self.clk_source = clk_source
+
+    @property
+    def q_node(self):
+        return "q"
+
+
+def build_dff(tech=None, device_factors=unit_device_factors,
+              title="tg dff"):
+    """Positive-edge-triggered TG master-slave DFF.
+
+    Master transparent while clk is low, slave while clk is high.
+    """
+    tech = default_technology() if tech is None else tech
+    c = Circuit(title)
+    c.add_vsource("VDD", "vdd", "0", Dc(tech.vdd))
+    c.add_vsource("VD", "d", "0", Dc(0.0))
+    c.add_vsource("VCLK", "clk", "0", Dc(0.0))
+    kwargs = {"device_factors": device_factors}
+
+    build_inverter(c, "ckb", "clk", "clkb", tech, **kwargs)
+
+    # Master: input TG transparent when clk low (ctrl = clkb).
+    build_transmission_gate(c, "tgi", "d", "m1", "clkb", "clk", tech,
+                            **kwargs)
+    build_inverter(c, "mi1", "m1", "m2", tech, **kwargs)
+    build_inverter(c, "mi2", "m2", "mfb", tech, strength=0.5, **kwargs)
+    build_transmission_gate(c, "tgmf", "mfb", "m1", "clk", "clkb", tech,
+                            strength=0.5, **kwargs)
+
+    # Slave: TG transparent when clk high.
+    build_transmission_gate(c, "tgs", "m2", "s1", "clk", "clkb", tech,
+                            **kwargs)
+    build_inverter(c, "si1", "s1", "q", tech, strength=2.0, **kwargs)
+    build_inverter(c, "si2", "q", "sfb", tech, strength=0.5, **kwargs)
+    build_transmission_gate(c, "tgsf", "sfb", "s1", "clkb", "clk", tech,
+                            strength=0.5, **kwargs)
+    c.add_capacitor("cq", "q", "0", 3 * tech.gate_input_capacitance())
+    return FlipFlopCircuit(c, tech, "VD", "VCLK")
+
+
+def _capture_run(dff, data_time, clk_time, d_value=1, dt=3e-12,
+                 tail=1.2e-9):
+    """Drive D to ``d_value`` at ``data_time``, clock at ``clk_time``.
+
+    The internal latches power up bistably, so an *init* clock pulse
+    first captures the opposite value, guaranteeing the measured edge
+    produces a real Q transition.
+    """
+    tech = dff.tech
+    edge = tech.edge_time
+    from ..spice.sources import make_stimulus, Pwl
+    v_from = 0.0 if d_value else tech.vdd
+    v_to = tech.vdd if d_value else 0.0
+    dff.circuit.element(dff.d_source).stimulus = make_stimulus(
+        Pulse(v_from, v_to, delay=data_time, rise=edge, width=1.0))
+    # init pulse well before data_time, then the measured edge
+    t_init = min(data_time, clk_time) * 0.3
+    w_init = min(data_time, clk_time) * 0.25
+    dff.circuit.element(dff.clk_source).stimulus = make_stimulus(Pwl([
+        (0.0, 0.0),
+        (t_init, 0.0),
+        (t_init + edge, tech.vdd),
+        (t_init + w_init, tech.vdd),
+        (t_init + w_init + edge, 0.0),
+        (clk_time - 0.5 * edge, 0.0),
+        (clk_time + 0.5 * edge, tech.vdd),
+    ]))
+    tstop = clk_time + tail
+    return run_transient(dff.circuit, tstop, dt,
+                         record=["d", "clk", dff.q_node])
+
+
+def measure_clk_to_q(dff=None, tech=None, dt=3e-12, clk_time=1.6e-9):
+    """τ_CQ: 50% clock edge to 50% Q edge with ample setup."""
+    dff = build_dff(tech=tech) if dff is None else dff
+    waveform = _capture_run(dff, data_time=0.7e-9, clk_time=clk_time,
+                            dt=dt)
+    half = dff.tech.vdd_half
+    after = clk_time - 3 * dff.tech.edge_time
+    t_clk = waveform.first_crossing("clk", half, "rise", after=after)
+    t_q = waveform.first_crossing(dff.q_node, half, "rise",
+                                  after=t_clk)
+    if t_q is None:
+        raise ValueError("flip-flop failed to capture with ample setup")
+    return t_q - t_clk
+
+
+def measure_setup_time(dff=None, tech=None, dt=3e-12, resolution=4e-12,
+                       window=0.5e-9, degradation=1.3):
+    """Setup time by bisection on the data-to-clock interval.
+
+    The setup time is the smallest D-before-clk interval at which the
+    cell still captures with a clk-to-q no worse than ``degradation`` x
+    the ample-setup value (the standard setup definition).
+    """
+    dff = build_dff(tech=tech) if dff is None else dff
+    clk_time = 1.6e-9
+    nominal_cq = measure_clk_to_q(dff, dt=dt, clk_time=clk_time)
+    half = dff.tech.vdd_half
+    after = clk_time - 3 * dff.tech.edge_time
+
+    def captures(setup):
+        waveform = _capture_run(dff, data_time=clk_time - setup,
+                                clk_time=clk_time, dt=dt)
+        t_clk = waveform.first_crossing("clk", half, "rise",
+                                        after=after)
+        t_q = waveform.first_crossing(dff.q_node, half, "rise",
+                                      after=t_clk)
+        if t_q is None:
+            return False
+        return (t_q - t_clk) <= degradation * nominal_cq
+
+    lo, hi = 0.0, window
+    if not captures(hi):
+        raise ValueError("flip-flop never captures within the window")
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if captures(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def flipflop_timing_from_electrical(tech=None, dt=3e-12):
+    """Measured behavioural timing for :mod:`repro.dft`."""
+    from ..dft import FlipFlopTiming
+
+    dff = build_dff(tech=tech)
+    tau_cq = measure_clk_to_q(dff, dt=dt)
+    tau_dc = measure_setup_time(dff, dt=dt)
+    return FlipFlopTiming(tau_cq=tau_cq, tau_dc=tau_dc)

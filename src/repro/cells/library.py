@@ -1,0 +1,333 @@
+"""Transistor-level CMOS standard cells.
+
+Each builder instantiates devices into a :class:`~repro.spice.Circuit` and
+returns a :class:`CellInstance` describing the structure — which devices
+form the pull-up/pull-down rail connections, which nodes are internal —
+because the fault injectors need that information to model internal
+resistive opens (Fig. 1a of the paper: a series resistance between VDD and
+the pull-up network).
+
+All cells here are single-stage inverting CMOS gates (INV/NAND/NOR); BUF is
+the two-inverter composite.  Device names are ``<cell>.<device>`` and
+internal nodes ``<cell>:<node>`` so instances never collide.
+"""
+
+from ..spice.errors import NetlistError
+
+
+def unit_device_factors(_device_name):
+    """Default per-device variation: no fluctuation."""
+    return 1.0, 1.0, 1.0
+
+
+class CellInstance:
+    """Structural record of one placed cell."""
+
+    def __init__(self, name, kind, inputs, output, nmos_names, pmos_names,
+                 pullup_rail_devices, pulldown_rail_devices,
+                 internal_nodes, inverting=True, side_ties=None):
+        self.name = name
+        self.kind = kind
+        self.inputs = list(inputs)
+        self.output = output
+        self.nmos_names = list(nmos_names)
+        self.pmos_names = list(pmos_names)
+        #: (device_name, terminal) pairs whose rewiring models an internal
+        #: resistive open in the pull-up network
+        self.pullup_rail_devices = list(pullup_rail_devices)
+        #: same for the pull-down network
+        self.pulldown_rail_devices = list(pulldown_rail_devices)
+        self.internal_nodes = list(internal_nodes)
+        self.inverting = inverting
+        #: per-side-input tie values (``{node: 0/1}``) for complex gates
+        #: whose pins have different non-controlling values (AOI/OAI);
+        #: None for simple gates (use :meth:`noncontrolling_value`)
+        self.side_ties = dict(side_ties) if side_ties else None
+
+    def noncontrolling_value(self):
+        """Logic value that keeps a side input transparent (1 for NAND/INV
+        paths through NAND, 0 for NOR)."""
+        if self.kind.startswith("nand") or self.kind in ("inv", "buf"):
+            return 1
+        if self.kind.startswith("nor"):
+            return 0
+        raise NetlistError(
+            "no non-controlling value defined for {!r}".format(self.kind))
+
+    def __repr__(self):
+        return "CellInstance({} {}: {} -> {})".format(
+            self.kind, self.name, self.inputs, self.output)
+
+
+def _params(tech, polarity, width, device_name, device_factors):
+    kp_f, vt_f, c_f = device_factors(device_name)
+    return tech.mosfet_params(polarity, width, kp_factor=kp_f,
+                              vt_factor=vt_f, c_factor=c_f)
+
+
+def _add_wire_load(circuit, tech, name, output):
+    if tech.c_wire > 0.0:
+        circuit.add_capacitor("{}.cw".format(name), output, "0", tech.c_wire)
+
+
+def build_inverter(circuit, name, a, y, tech, vdd="vdd",
+                   device_factors=unit_device_factors, strength=1.0):
+    """Static CMOS inverter; ``strength`` scales both device widths."""
+    wn = tech.wn_unit * strength
+    wp = tech.wp_unit * strength
+    mn = "{}.MN".format(name)
+    mp = "{}.MP".format(name)
+    circuit.add_nmos(mn, y, a, "0", "0", wn, tech.length,
+                     _params(tech, "nmos", wn, mn, device_factors))
+    circuit.add_pmos(mp, y, a, vdd, vdd, wp, tech.length,
+                     _params(tech, "pmos", wp, mp, device_factors))
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "inv", [a], y, [mn], [mp],
+        pullup_rail_devices=[(mp, "s")],
+        pulldown_rail_devices=[(mn, "s")],
+        internal_nodes=[])
+
+
+def build_nand(circuit, name, inputs, y, tech, vdd="vdd",
+               device_factors=unit_device_factors, strength=1.0):
+    """N-input NAND: series NMOS stack (widths scaled by the stack depth
+    for comparable drive), parallel PMOS."""
+    n = len(inputs)
+    if n < 2:
+        raise NetlistError("NAND needs at least 2 inputs")
+    wn = tech.wn_unit * strength * n
+    wp = tech.wp_unit * strength
+    nmos, pmos, internal = [], [], []
+    # Series NMOS chain from y down to ground; input[0] is nearest y.
+    top = y
+    for i, a in enumerate(inputs):
+        bottom = "0" if i == n - 1 else "{}:n{}".format(name, i)
+        if bottom != "0":
+            internal.append(bottom)
+        mn = "{}.MN{}".format(name, i)
+        circuit.add_nmos(mn, top, a, bottom, "0", wn, tech.length,
+                         _params(tech, "nmos", wn, mn, device_factors))
+        nmos.append(mn)
+        top = bottom
+    for i, a in enumerate(inputs):
+        mp = "{}.MP{}".format(name, i)
+        circuit.add_pmos(mp, y, a, vdd, vdd, wp, tech.length,
+                         _params(tech, "pmos", wp, mp, device_factors))
+        pmos.append(mp)
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "nand{}".format(n), inputs, y, nmos, pmos,
+        pullup_rail_devices=[(mp, "s") for mp in pmos],
+        pulldown_rail_devices=[(nmos[-1], "s")],
+        internal_nodes=internal)
+
+
+def build_nor(circuit, name, inputs, y, tech, vdd="vdd",
+              device_factors=unit_device_factors, strength=1.0):
+    """N-input NOR: parallel NMOS, series PMOS stack (width-scaled)."""
+    n = len(inputs)
+    if n < 2:
+        raise NetlistError("NOR needs at least 2 inputs")
+    wn = tech.wn_unit * strength
+    wp = tech.wp_unit * strength * n
+    nmos, pmos, internal = [], [], []
+    for i, a in enumerate(inputs):
+        mn = "{}.MN{}".format(name, i)
+        circuit.add_nmos(mn, y, a, "0", "0", wn, tech.length,
+                         _params(tech, "nmos", wn, mn, device_factors))
+        nmos.append(mn)
+    # Series PMOS chain from vdd down to y; input[0] nearest vdd.
+    top = vdd
+    for i, a in enumerate(inputs):
+        bottom = y if i == n - 1 else "{}:p{}".format(name, i)
+        if bottom != y:
+            internal.append(bottom)
+        mp = "{}.MP{}".format(name, i)
+        circuit.add_pmos(mp, bottom, a, top, vdd, wp, tech.length,
+                         _params(tech, "pmos", wp, mp, device_factors))
+        pmos.append(mp)
+        top = bottom
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "nor{}".format(n), inputs, y, nmos, pmos,
+        pullup_rail_devices=[(pmos[0], "s")],
+        pulldown_rail_devices=[(mn, "s") for mn in nmos],
+        internal_nodes=internal)
+
+
+def build_xor2(circuit, name, a, b, y, tech, vdd="vdd",
+               device_factors=unit_device_factors, strength=1.0):
+    """Static complementary CMOS XOR2 (2 inverters + 8 transistors).
+
+    Pull-up paths conduct for (a=1,b=0) and (a=0,b=1); pull-down for
+    (1,1) and (0,0).  Used by the transition detector of
+    :mod:`repro.testckt`; not part of the sensitized-chain gate kinds
+    because XOR has no non-controlling side value.
+    """
+    an = "{}:an".format(name)
+    bn = "{}:bn".format(name)
+    inv_a = build_inverter(circuit, "{}_ia".format(name), a, an, tech,
+                           vdd=vdd, device_factors=device_factors,
+                           strength=strength)
+    inv_b = build_inverter(circuit, "{}_ib".format(name), b, bn, tech,
+                           vdd=vdd, device_factors=device_factors,
+                           strength=strength)
+
+    wn = tech.wn_unit * strength * 2   # series stacks widened
+    wp = tech.wp_unit * strength * 2
+    length = tech.length
+    mid_p1 = "{}:p1".format(name)
+    mid_p2 = "{}:p2".format(name)
+    mid_n1 = "{}:n1".format(name)
+    mid_n2 = "{}:n2".format(name)
+
+    def nmos(suffix, d, g, s):
+        dev = "{}.MN{}".format(name, suffix)
+        circuit.add_nmos(dev, d, g, s, "0", wn, length,
+                         _params(tech, "nmos", wn, dev, device_factors))
+        return dev
+
+    def pmos(suffix, d, g, s):
+        dev = "{}.MP{}".format(name, suffix)
+        circuit.add_pmos(dev, d, g, s, vdd, wp, length,
+                         _params(tech, "pmos", wp, dev, device_factors))
+        return dev
+
+    # Pull-up: (gate an, gate b) series and (gate a, gate bn) series.
+    pmos_names = [
+        pmos("0", mid_p1, an, vdd), pmos("1", y, b, mid_p1),
+        pmos("2", mid_p2, a, vdd), pmos("3", y, bn, mid_p2),
+    ]
+    # Pull-down: (a, b) series and (an, bn) series.
+    nmos_names = [
+        nmos("0", y, a, mid_n1), nmos("1", mid_n1, b, "0"),
+        nmos("2", y, an, mid_n2), nmos("3", mid_n2, bn, "0"),
+    ]
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "xor2", [a, b], y,
+        inv_a.nmos_names + inv_b.nmos_names + nmos_names,
+        inv_a.pmos_names + inv_b.pmos_names + pmos_names,
+        pullup_rail_devices=[("{}.MP0".format(name), "s"),
+                             ("{}.MP2".format(name), "s")],
+        pulldown_rail_devices=[("{}.MN1".format(name), "s"),
+                               ("{}.MN3".format(name), "s")],
+        internal_nodes=[an, bn, mid_p1, mid_p2, mid_n1, mid_n2],
+        inverting=False)
+
+
+def build_aoi21(circuit, name, a, b, c, y, tech, vdd="vdd",
+                device_factors=unit_device_factors, strength=1.0):
+    """AND-OR-INVERT: ``y = NOT(a AND b OR c)``.
+
+    A path through pin ``a`` is sensitized by ``b=1, c=0`` (the gate then
+    inverts ``a``).  Series branches are width-doubled.
+    """
+    wn1, wn2 = tech.wn_unit * strength * 2, tech.wn_unit * strength
+    wp = tech.wp_unit * strength * 2
+    length = tech.length
+    x = "{}:n0".format(name)
+    m = "{}:p0".format(name)
+
+    def nmos(suffix, d, g, s, w):
+        dev = "{}.MN{}".format(name, suffix)
+        circuit.add_nmos(dev, d, g, s, "0", w, length,
+                         _params(tech, "nmos", w, dev, device_factors))
+        return dev
+
+    def pmos(suffix, d, g, s):
+        dev = "{}.MP{}".format(name, suffix)
+        circuit.add_pmos(dev, d, g, s, vdd, wp, length,
+                         _params(tech, "pmos", wp, dev, device_factors))
+        return dev
+
+    # PDN: series(a, b) parallel c
+    nmos_names = [nmos("a", y, a, x, wn1), nmos("b", x, b, "0", wn1),
+                  nmos("c", y, c, "0", wn2)]
+    # PUN: c in series with parallel(a, b)
+    pmos_names = [pmos("c", m, c, vdd), pmos("a", y, a, m),
+                  pmos("b", y, b, m)]
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "aoi21", [a, b, c], y, nmos_names, pmos_names,
+        pullup_rail_devices=[("{}.MPc".format(name), "s")],
+        pulldown_rail_devices=[("{}.MNb".format(name), "s"),
+                               ("{}.MNc".format(name), "s")],
+        internal_nodes=[x, m],
+        side_ties={b: 1, c: 0})
+
+
+def build_oai21(circuit, name, a, b, c, y, tech, vdd="vdd",
+                device_factors=unit_device_factors, strength=1.0):
+    """OR-AND-INVERT: ``y = NOT((a OR b) AND c)``.
+
+    A path through pin ``a`` is sensitized by ``b=0, c=1``.
+    """
+    wn = tech.wn_unit * strength * 2
+    wp1, wp2 = tech.wp_unit * strength * 2, tech.wp_unit * strength
+    length = tech.length
+    x = "{}:n0".format(name)
+    m = "{}:p0".format(name)
+
+    def nmos(suffix, d, g, s):
+        dev = "{}.MN{}".format(name, suffix)
+        circuit.add_nmos(dev, d, g, s, "0", wn, length,
+                         _params(tech, "nmos", wn, dev, device_factors))
+        return dev
+
+    def pmos(suffix, d, g, s, w):
+        dev = "{}.MP{}".format(name, suffix)
+        circuit.add_pmos(dev, d, g, s, vdd, w, length,
+                         _params(tech, "pmos", w, dev, device_factors))
+        return dev
+
+    # PDN: parallel(a, b) in series with c
+    nmos_names = [nmos("a", y, a, x), nmos("b", y, b, x),
+                  nmos("c", x, c, "0")]
+    # PUN: series(a, b) parallel c
+    pmos_names = [pmos("a", m, a, vdd, wp1), pmos("b", y, b, m, wp1),
+                  pmos("c", y, c, vdd, wp2)]
+    _add_wire_load(circuit, tech, name, y)
+    return CellInstance(
+        name, "oai21", [a, b, c], y, nmos_names, pmos_names,
+        pullup_rail_devices=[("{}.MPa".format(name), "s"),
+                             ("{}.MPc".format(name), "s")],
+        pulldown_rail_devices=[("{}.MNc".format(name), "s")],
+        internal_nodes=[x, m],
+        side_ties={b: 0, c: 1})
+
+
+#: gate kinds the chain builder understands
+GATE_KINDS = ("inv", "nand2", "nand3", "nor2", "nor3", "aoi21", "oai21")
+
+
+def build_gate(circuit, kind, name, path_input, output, tech, vdd="vdd",
+               device_factors=unit_device_factors, strength=1.0):
+    """Place a gate of ``kind`` with ``path_input`` on its first pin.
+
+    For multi-input gates the side inputs are created as fresh nodes named
+    ``<name>:side<i>``; they are returned so the caller can tie them to
+    sensitizing values (uniform non-controlling for NAND/NOR, per-pin
+    ``cell.side_ties`` for AOI/OAI).  Returns ``(cell, side_nodes)``.
+    """
+    kw = {"vdd": vdd, "device_factors": device_factors, "strength": strength}
+    if kind == "inv":
+        cell = build_inverter(circuit, name, path_input, output, tech, **kw)
+        return cell, []
+    if kind not in GATE_KINDS:
+        raise NetlistError("unknown cell kind {!r}".format(kind))
+    if kind in ("aoi21", "oai21"):
+        side_nodes = ["{}:side1".format(name), "{}:side2".format(name)]
+        builder = build_aoi21 if kind == "aoi21" else build_oai21
+        cell = builder(circuit, name, path_input, side_nodes[0],
+                       side_nodes[1], output, tech, **kw)
+        return cell, side_nodes
+    fan_in = int(kind[-1])
+    side_nodes = ["{}:side{}".format(name, i) for i in range(1, fan_in)]
+    inputs = [path_input] + side_nodes
+    if kind.startswith("nand"):
+        cell = build_nand(circuit, name, inputs, output, tech, **kw)
+    else:
+        cell = build_nor(circuit, name, inputs, output, tech, **kw)
+    return cell, side_nodes

@@ -1,0 +1,136 @@
+"""Technology description and per-device parameter derivation.
+
+The reproduction uses a generic quarter-micron-class CMOS technology tuned
+so that the studied structures land on the paper's scales: stage delays of
+one to two hundred picoseconds, path delays around a nanosecond, minimal
+propagatable pulse widths of a few hundred picoseconds (Fig. 10 plots
+``w_in`` between 0.3 and 0.5 ns).
+
+All numbers are instance attributes so Monte Carlo sampling can perturb
+them per circuit instance (die-to-die part) while
+:class:`~repro.montecarlo.sampling.VariationModel` adds per-device
+(within-die) factors.
+"""
+
+from ..spice.mosfet import MosfetParams
+
+
+class Technology:
+    """Process + sizing assumptions used by the cell library.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage (V).
+    vtn, vtp:
+        Threshold magnitudes (V), both positive.
+    kpn, kpp:
+        Process transconductance ``mu * Cox`` (A/V^2).
+    lambda_n, lambda_p:
+        Channel-length modulation (1/V).
+    length:
+        Drawn channel length (m).
+    wn_unit, wp_unit:
+        Unit widths (m) for NMOS/PMOS in a 1x inverter.
+    cox_area:
+        Gate-oxide capacitance per area (F/m^2).
+    cov_width:
+        Gate-drain/source overlap capacitance per width (F/m).
+    cj_width:
+        Junction capacitance per width at drain/source (F/m).
+    c_wire:
+        Wire capacitance added at every cell output (F).
+    edge_time:
+        Nominal rise/fall time of externally injected stimuli (s).
+    """
+
+    FIELDS = ("vdd", "vtn", "vtp", "kpn", "kpp", "lambda_n", "lambda_p",
+              "length", "wn_unit", "wp_unit", "cox_area", "cov_width",
+              "cj_width", "c_wire", "edge_time")
+
+    def __init__(self, name="generic250", vdd=2.5, vtn=0.50, vtp=0.55,
+                 kpn=120e-6, kpp=40e-6, lambda_n=0.06, lambda_p=0.08,
+                 length=0.25e-6, wn_unit=0.8e-6, wp_unit=2.0e-6,
+                 cox_area=6.0e-3, cov_width=0.35e-9, cj_width=0.9e-9,
+                 c_wire=12e-15, edge_time=60e-12):
+        self.name = name
+        self.vdd = float(vdd)
+        self.vtn = float(vtn)
+        self.vtp = float(vtp)
+        self.kpn = float(kpn)
+        self.kpp = float(kpp)
+        self.lambda_n = float(lambda_n)
+        self.lambda_p = float(lambda_p)
+        self.length = float(length)
+        self.wn_unit = float(wn_unit)
+        self.wp_unit = float(wp_unit)
+        self.cox_area = float(cox_area)
+        self.cov_width = float(cov_width)
+        self.cj_width = float(cj_width)
+        self.c_wire = float(c_wire)
+        self.edge_time = float(edge_time)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vdd_half(self):
+        """The 50 % measurement level used throughout the paper."""
+        return 0.5 * self.vdd
+
+    def gate_input_capacitance(self, wn=None, wp=None):
+        """Input capacitance presented by a gate of the given widths (F)."""
+        wn = self.wn_unit if wn is None else wn
+        wp = self.wp_unit if wp is None else wp
+        area = (wn + wp) * self.length
+        overlap = 2.0 * (wn + wp) * self.cov_width
+        return self.cox_area * area + overlap
+
+    def mosfet_params(self, polarity, width, kp_factor=1.0, vt_factor=1.0,
+                      c_factor=1.0):
+        """Build :class:`MosfetParams` for a device of ``width``.
+
+        The ``*_factor`` arguments carry per-device Monte Carlo variation.
+        """
+        if polarity == "nmos":
+            kp, vt, lam = self.kpn, self.vtn, self.lambda_n
+        elif polarity == "pmos":
+            kp, vt, lam = self.kpp, self.vtp, self.lambda_p
+        else:
+            raise ValueError("polarity must be 'nmos' or 'pmos'")
+        c_gate = self.cox_area * width * self.length
+        c_ov = self.cov_width * width
+        c_j = self.cj_width * width
+        return MosfetParams(
+            kp=kp * kp_factor,
+            vt=vt * vt_factor,
+            lam=lam,
+            cgs=(0.5 * c_gate + c_ov) * c_factor,
+            cgd=(0.5 * c_gate * 0.5 + c_ov) * c_factor,
+            cdb=c_j * c_factor,
+            csb=0.5 * c_j * c_factor,
+        )
+
+    # ------------------------------------------------------------------
+
+    def copy(self, **overrides):
+        """Copy with selected fields overridden."""
+        kwargs = {f: getattr(self, f) for f in self.FIELDS}
+        kwargs.update(overrides)
+        return Technology(name=self.name, **kwargs)
+
+    def scaled(self, factors):
+        """Copy with multiplicative ``{field: factor}`` perturbations."""
+        kwargs = {f: getattr(self, f) for f in self.FIELDS}
+        for field, factor in factors.items():
+            if field not in kwargs:
+                raise ValueError("unknown technology field {!r}".format(field))
+            kwargs[field] = kwargs[field] * factor
+        return Technology(name=self.name, **kwargs)
+
+    def __repr__(self):
+        return "Technology({!r}, vdd={:g}V)".format(self.name, self.vdd)
+
+
+def default_technology():
+    """The nominal technology used by all experiments."""
+    return Technology()

@@ -1,0 +1,220 @@
+"""Command-line interface: ``pulsetest <command>``.
+
+Runs the paper's experiments from the shell and prints the same series
+the figures plot.  Heavy electrical sweeps honour ``REPRO_FAST=1``.
+"""
+
+import argparse
+import sys
+
+from .core.experiments import (ExperimentConfig, run_bridging_coverage,
+                               run_open_coverage,
+                               run_path_characterization,
+                               run_transfer_experiment,
+                               run_waveform_experiment)
+from .reporting import ascii_plot, coverage_table, format_table
+
+
+def _cmd_waveforms(args):
+    experiment = run_waveform_experiment(args.kind, args.resistance,
+                                         w_in=args.w_in)
+    half = 0.5 * experiment.vdd
+    rows = []
+    for node in experiment.nodes:
+        rows.append([
+            node,
+            experiment.excursion(experiment.fault_free, node),
+            experiment.excursion(experiment.faulty, node),
+        ])
+    print("fault: {}".format(experiment.fault.describe()))
+    print(format_table(
+        ["node", "fault-free excursion (V)", "faulty excursion (V)"], rows))
+    print("\npulse dampened at output: {}".format(
+        experiment.dampened_at_output()))
+    print("(excursions below {:.2f} V mean the pulse died)".format(half))
+    return 0
+
+
+def _cmd_coverage(args):
+    config = ExperimentConfig.from_env()
+    if args.fault == "open":
+        experiment = run_open_coverage(config)
+    else:
+        experiment = run_bridging_coverage(config)
+    print("calibration: omega_in={:.0f}ps omega_th={:.0f}ps T*={:.0f}ps"
+          .format(experiment.calibration.omega_in * 1e12,
+                  experiment.calibration.omega_th * 1e12,
+                  experiment.dftest.t_star * 1e12))
+    print("\nC_pulse (proposed method)")
+    print(coverage_table(experiment.pulse))
+    print("\nC_del (reduced-clock DF testing)")
+    print(coverage_table(experiment.delay))
+    series = {}
+    for label in experiment.pulse.labels():
+        curve = experiment.pulse.curve(label)
+        series["pulse " + label] = (curve.resistances, curve.coverage)
+    for label in experiment.delay.labels():
+        curve = experiment.delay.curve(label)
+        series["del " + label] = (curve.resistances, curve.coverage)
+    print()
+    print(ascii_plot(series, x_label="R (ohm)", y_label="coverage"))
+    return 0
+
+
+def _cmd_transfer(args):
+    experiment = run_transfer_experiment()
+    curve = experiment.nominal_curve
+    rows = [(w * 1e12, o * 1e12)
+            for w, o in zip(curve.w_in, curve.w_out)]
+    print(format_table(["w_in (ps)", "w_out (ps)"], rows))
+    print("\nregions: dampened up to {:.0f} ps, asymptotic from {:.0f} ps"
+          .format(curve.dampened_limit() * 1e12,
+                  (curve.region3_onset() or float("nan")) * 1e12))
+    print("\nMonte Carlo scatter at candidate omega_in values:")
+    rows = []
+    for w in experiment.probe_widths:
+        values = experiment.sample_wouts[w]
+        rows.append([w * 1e12, min(values) * 1e12, max(values) * 1e12,
+                     experiment.spread(w) * 1e12])
+    print(format_table(
+        ["w_in (ps)", "min w_out (ps)", "max w_out (ps)", "spread (ps)"],
+        rows))
+    return 0
+
+
+def _cmd_paths(args):
+    result = run_path_characterization()
+    print("circuit: {}   fault net: {}".format(result.circuit_name,
+                                               result.fault_net))
+    rows = []
+    for entry in result.entries:
+        rows.append([
+            entry["length"],
+            entry["omega_in"] * 1e12,
+            entry["omega_th"] * 1e12,
+            "-" if entry["r_min"] is None else entry["r_min"],
+        ])
+    print(format_table(
+        ["path gates", "omega_in (ps)", "omega_th (ps)", "R_min (ohm)"],
+        rows))
+    best = result.best()
+    if best is not None:
+        print("\nbest path: R_min = {:.0f} ohm at omega_in = {:.0f} ps"
+              .format(best["r_min"], best["omega_in"] * 1e12))
+    return 0
+
+
+def _cmd_campaign(args):
+    from .logic import (DefectCalibration, generate_c432_like,
+                        run_campaign)
+
+    calibration = DefectCalibration.from_electrical(
+        "external", [1e3, 4e3, 12e3, 40e3],
+        dt=5e-12 if args.fast else 3e-12)
+    netlist = generate_c432_like(seed=args.seed)
+    result = run_campaign(netlist, calibration,
+                          site_stride=args.stride)
+    summary = result.summary()
+    print("circuit: {}   fault sites: {}".format(summary["circuit"],
+                                                 summary["n_sites"]))
+    print("statuses: {}".format(summary["statuses"]))
+    print("test generation rate: {:.0%}".format(
+        summary["test_generation_rate"]))
+    rows = [[r, result.coverage_at(r)]
+            for r in (2e3, 5e3, 10e3, 20e3, 40e3)]
+    print()
+    print(format_table(["R (ohm)", "site coverage"], rows))
+    if summary["best_r_min"] is not None:
+        print("\nbest generated test detects R >= {:.0f} ohm".format(
+            summary["best_r_min"]))
+    return 0
+
+
+def _cmd_onchip(args):
+    from .faults import (BridgingFault, ExternalOpen, InternalOpen,
+                         PULL_UP)
+    from .testckt import build_onchip_test, run_onchip_test
+
+    fault = None
+    if args.fault == "internal_rop":
+        fault = InternalOpen(2, PULL_UP, args.resistance)
+    elif args.fault == "external_rop":
+        fault = ExternalOpen(2, args.resistance)
+    elif args.fault == "bridging":
+        fault = BridgingFault(2, args.resistance)
+
+    bench = build_onchip_test(fault=fault)
+    detected, waveform = run_onchip_test(
+        bench, dt=5e-12 if args.fast else 3e-12)
+    flag = waveform.value_at(bench.detector.flag_node, waveform.t[-1])
+    half = bench.tech.vdd_half
+    print("structure: {}".format(bench))
+    print("generated pulse at the path input: {:.0f} ps".format(
+        waveform.widest_pulse(bench.path.input_node, half, "high")
+        * 1e12))
+    print("pulse at the path output: {:.0f} ps".format(
+        waveform.widest_pulse(bench.path.output_node, half, "low")
+        * 1e12))
+    print("detector flag: {:.2f} V -> {}".format(
+        flag, "FAULT DETECTED" if detected else "pass"))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="pulsetest",
+        description=("Pulse propagation for the detection of small delay "
+                     "defects (Favalli & Metra, DATE 2007) - experiment "
+                     "runner"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("waveforms",
+                       help="faulty vs fault-free waveforms (Figs. 2/3/5)")
+    p.add_argument("kind",
+                   choices=["internal_rop", "external_rop", "bridging"])
+    p.add_argument("--resistance", type=float, default=8e3)
+    p.add_argument("--w-in", type=float, default=0.40e-9)
+    p.set_defaults(func=_cmd_waveforms)
+
+    p = sub.add_parser("coverage",
+                       help="C_pulse / C_del vs R (Figs. 6-9)")
+    p.add_argument("fault", choices=["open", "bridging"])
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("transfer",
+                       help="w_out(w_in) transfer relation (Fig. 10)")
+    p.set_defaults(func=_cmd_transfer)
+
+    p = sub.add_parser("paths",
+                       help="per-path (omega_in, omega_th, R_min) (Fig. 11)")
+    p.set_defaults(func=_cmd_paths)
+
+    p = sub.add_parser("onchip",
+                       help="fully structural on-chip pulse test "
+                            "(generator + path + detector)")
+    p.add_argument("--fault",
+                   choices=["none", "internal_rop", "external_rop",
+                            "bridging"], default="none")
+    p.add_argument("--resistance", type=float, default=8e3)
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_onchip)
+
+    p = sub.add_parser("campaign",
+                       help="full-circuit test campaign (extension)")
+    p.add_argument("--seed", type=int, default=432)
+    p.add_argument("--stride", type=int, default=2,
+                   help="fault-site subsampling stride")
+    p.add_argument("--fast", action="store_true",
+                   help="coarser electrical calibration")
+    p.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: pulse-propagation testing of small delay
+defects — measurement, sensing, calibration and coverage experiments."""
+
+from .experiments import (CoverageExperiment, ExperimentConfig,
+                          PathCharacterization, TransferExperiment,
+                          WaveformExperiment, run_bridging_coverage,
+                          run_open_coverage, run_path_characterization,
+                          run_transfer_experiment, run_waveform_experiment)
+from .calibration import (PulseTestCalibration, calibrate_delay_test,
+                          calibrate_pulse_test)
+from .crosscheck import (chain_kinds_for_path, electrical_path_for,
+                         validate_path_electrically)
+from .critical import (bridging_critical_resistance,
+                       static_levels_correct)
+from .coverage import (CoverageCurve, CoverageResult, delay_coverage,
+                       pulse_coverage, sweep_delay_measurements,
+                       sweep_pulse_measurements)
+from .pulse import (build_instance, measure_output_pulse, measure_path_delay,
+                    output_pulse_polarity, simulation_window)
+from .sensing import PulseDetector
+from .testgen import (GeneratedPulseTest, degraded_transition,
+                      estimate_r_min, generate_pulse_test,
+                      select_pulse_kind)
+from .transfer import (TransferCurve, characterize_transfer,
+                       default_w_in_grid, minimum_propagatable_width,
+                       recommended_w_in)
+
+__all__ = [
+    "build_instance", "measure_output_pulse", "measure_path_delay",
+    "output_pulse_polarity", "simulation_window",
+    "PulseDetector",
+    "TransferCurve", "characterize_transfer", "default_w_in_grid",
+    "recommended_w_in", "minimum_propagatable_width",
+    "PulseTestCalibration", "calibrate_pulse_test", "calibrate_delay_test",
+    "CoverageCurve", "CoverageResult", "pulse_coverage", "delay_coverage",
+    "sweep_pulse_measurements", "sweep_delay_measurements",
+    "ExperimentConfig", "WaveformExperiment", "CoverageExperiment",
+    "TransferExperiment", "PathCharacterization",
+    "run_waveform_experiment", "run_open_coverage",
+    "run_bridging_coverage", "run_transfer_experiment",
+    "run_path_characterization",
+    "GeneratedPulseTest", "degraded_transition", "select_pulse_kind",
+    "estimate_r_min", "generate_pulse_test",
+    "bridging_critical_resistance", "static_levels_correct",
+    "chain_kinds_for_path", "electrical_path_for",
+    "validate_path_electrically",
+]

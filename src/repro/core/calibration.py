@@ -1,0 +1,106 @@
+"""Test-parameter calibration on the fault-free Monte Carlo population.
+
+Section 4's conservative, yield-first procedure:
+
+* pulse test — pick the nominal pair (ω_in*, ω_th*) such that no false
+  positive is produced for 10 % worst-case sensing-sensitivity variation:
+  every fault-free instance's ``w_out(ω_in*)`` must clear ``1.1 ω_th*``;
+* DF test — pick T* such that no false positive occurs even when the
+  applied period droops by 10 % (see :mod:`repro.dft.reduced_clock`).
+"""
+
+from ..dft import FlipFlopTiming, calibrate_t_star
+from ..montecarlo import NominalModel, run_population
+from .pulse import build_instance, measure_output_pulse, measure_path_delay
+from .sensing import PulseDetector
+from .transfer import (characterize_transfer, default_w_in_grid,
+                       recommended_w_in)
+
+
+class PulseTestCalibration:
+    """Result of pulse-test calibration for one path."""
+
+    def __init__(self, omega_in, detector, nominal_curve,
+                 fault_free_wouts, sensing_tolerance):
+        self.omega_in = omega_in
+        self.detector = detector
+        self.nominal_curve = nominal_curve
+        self.fault_free_wouts = list(fault_free_wouts)
+        self.sensing_tolerance = sensing_tolerance
+
+    @property
+    def omega_th(self):
+        return self.detector.omega_th
+
+    def __repr__(self):
+        return ("PulseTestCalibration(omega_in={:.0f}ps, "
+                "omega_th={:.0f}ps)").format(self.omega_in * 1e12,
+                                             self.omega_th * 1e12)
+
+
+def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
+                         w_in_grid=None, sensing_tolerance=0.1,
+                         margin=0.03e-9, dt=None, omega_in=None,
+                         **path_kwargs):
+    """Select (ω_in*, ω_th*) for the path described by ``path_kwargs``.
+
+    Steps (Sec. 5 rule + Sec. 4 yield constraint):
+
+    1. characterise the *nominal* transfer curve and place ω_in* at the
+       onset of the asymptotic region (unless ``omega_in`` is forced);
+    2. measure ``w_out(ω_in*)`` over the fault-free population;
+    3. set ω_th* so the weakest fault-free instance still clears a
+       detector whose threshold runs ``sensing_tolerance`` high:
+       ``ω_th* = min_s w_out_s / (1 + sensing_tolerance)``.
+    """
+    if w_in_grid is None:
+        w_in_grid = default_w_in_grid(tech)
+
+    def nominal_builder():
+        return build_instance(sample=NominalModel(), fault=fault, tech=tech,
+                              **path_kwargs)
+
+    curve = characterize_transfer(nominal_builder, w_in_grid, kind=kind,
+                                  dt=dt)
+    if omega_in is None:
+        omega_in = recommended_w_in(curve, margin=margin)
+
+    def worker(sample):
+        path = build_instance(sample=sample, fault=fault, tech=tech,
+                              **path_kwargs)
+        kwargs = {} if dt is None else {"dt": dt}
+        w_out, _ = measure_output_pulse(path, omega_in, kind=kind, **kwargs)
+        return w_out
+
+    wouts = run_population(worker, samples).values
+    weakest = min(wouts)
+    if weakest <= 0.0:
+        raise ValueError(
+            "a fault-free instance dampens the calibrated pulse; "
+            "omega_in={:.0f}ps sits in the forbidden attenuation region"
+            .format(omega_in * 1e12))
+    detector = PulseDetector(weakest / (1.0 + sensing_tolerance))
+    return PulseTestCalibration(omega_in, detector, curve, wouts,
+                                sensing_tolerance)
+
+
+def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
+                         flipflop=None, skew_tolerance=0.1, dt=None,
+                         **path_kwargs):
+    """Calibrate the reduced-clock baseline on the same population.
+
+    Returns ``(DelayFaultTest, fault_free_delays)``.
+    """
+    flipflop = FlipFlopTiming() if flipflop is None else flipflop
+
+    def worker(sample):
+        path = build_instance(sample=sample, fault=fault, tech=tech,
+                              **path_kwargs)
+        kwargs = {} if dt is None else {"dt": dt}
+        d, _ = measure_path_delay(path, direction=direction, **kwargs)
+        return d
+
+    delays = run_population(worker, samples).values
+    test = calibrate_t_star(delays, samples, flipflop,
+                            skew_tolerance=skew_tolerance)
+    return test, delays

@@ -1,0 +1,80 @@
+"""Bridging critical resistance (Sec. 2 / Sec. 4).
+
+"Under nominal conditions, the critical resistance of such a fault is
+equal to 2 kOhm.  Above such a value, an additional delay is produced
+instead of a logic error."  This module locates that boundary for any
+bridging configuration: the largest R at which the contention still
+flips a downstream logic value statically.
+"""
+
+from ..faults import BridgingFault, inject, set_fault_resistance
+from ..montecarlo import NominalModel
+from ..spice import operating_point
+from .pulse import build_instance
+
+
+def static_levels_correct(faulty_path, input_level, reference_path=None):
+    """True when every stage node holds its healthy logic value with the
+    input statically at ``input_level``."""
+    reference_path = (build_instance(sample=NominalModel(),
+                                     tech=faulty_path.tech)
+                      if reference_path is None else reference_path)
+    vdd_value = faulty_path.tech.vdd if input_level else 0.0
+    half = faulty_path.tech.vdd_half
+
+    from ..spice.sources import Dc
+    faulty_path.circuit.element(faulty_path.input_source).stimulus = (
+        Dc(vdd_value))
+    reference_path.circuit.element(
+        reference_path.input_source).stimulus = Dc(vdd_value)
+
+    op_faulty = operating_point(faulty_path.circuit)
+    op_ref = operating_point(reference_path.circuit)
+    for node in faulty_path.stage_nodes[1:]:
+        if (op_faulty[node] > half) != (op_ref[node] > half):
+            return False
+    return True
+
+
+def bridging_critical_resistance(stage=2, tech=None, aggressor_value=None,
+                                 r_lo=100.0, r_hi=50e3, rel_tol=0.03,
+                                 input_level=None):
+    """Largest R at which the bridge still causes a static logic error.
+
+    The contention state is the input level that drives the victim node
+    *against* the aggressor.  Returns None when even ``r_lo`` produces
+    no error (the bridge is benign over the whole range).
+    """
+    probe = build_instance(sample=NominalModel(), tech=tech)
+    fault = BridgingFault(stage, r_hi, aggressor_value=aggressor_value)
+
+    if input_level is None:
+        # The contention state drives the victim node to the value the
+        # aggressor opposes: pick the input level whose static victim
+        # value differs from what the aggressor holds.
+        held = (fault.aggressor_value
+                if fault.aggressor_value is not None
+                else probe.idle_level(stage, 0))
+        input_level = next(candidate for candidate in (0, 1)
+                           if probe.idle_level(stage, candidate) != held)
+
+    reference = build_instance(sample=NominalModel(), tech=tech)
+    faulty = inject(probe, fault)
+
+    def errors(r):
+        set_fault_resistance(faulty, r)
+        return not static_levels_correct(faulty, input_level,
+                                         reference_path=reference)
+
+    if not errors(r_lo):
+        return None
+    if errors(r_hi):
+        return r_hi
+    lo, hi = r_lo, r_hi
+    while hi - lo > rel_tol * lo:
+        mid = (lo * hi) ** 0.5
+        if errors(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

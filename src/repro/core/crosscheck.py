@@ -1,0 +1,106 @@
+"""Logic-to-electrical path cross-check.
+
+The paper's Fig. 11 characterisation ran electrically on selected C432
+paths; our Fig. 11 flow screens paths at the logic level for speed.
+This module closes the loop: translate a structural logic path into an
+equivalent transistor-level sensitized chain (same gate kinds, same
+fan-out loading) and verify the logic-level recommendation electrically
+— the ω_in chosen by the analytic model must actually propagate.
+"""
+
+from ..cells import build_path, default_technology
+from ..logic.paths import fanout_load_counts, path_gates
+from .pulse import measure_output_pulse
+
+#: structural logic kind -> electrical cell kind.  AND/OR have no
+#: single-stage static CMOS realisation; their NAND/NOR core carries the
+#: pulse-filtering behaviour (the trailing inverter is a strong buffer
+#: that passes anything its input survives).  XOR maps to its worst-case
+#: filtering proxy.
+KIND_MAP = {
+    "not": "inv",
+    "buf": "inv",
+    "nand": "nand",   # arity appended below
+    "nor": "nor",
+    "and": "nand",
+    "or": "nor",
+    "xor": "nand",
+    "xnor": "nand",
+}
+
+
+def chain_kinds_for_path(netlist, path_nets):
+    """Electrical cell kinds for each gate along a logic path."""
+    kinds = []
+    for gate in path_gates(netlist, path_nets):
+        base = KIND_MAP[gate.kind]
+        if base in ("nand", "nor"):
+            arity = min(max(len(gate.inputs), 2), 3)
+            kinds.append("{}{}".format(base, arity))
+        else:
+            kinds.append(base)
+    return tuple(kinds)
+
+
+def electrical_path_for(netlist, path_nets, tech=None, sample=None):
+    """Build the transistor-level equivalent of a structural path.
+
+    Per-stage fan-out loading follows the logic netlist's fan-out
+    counts (each extra sink loads the node with one unit gate input).
+    """
+    tech = default_technology() if tech is None else tech
+    if sample is not None:
+        tech = sample.apply_to_technology(tech)
+    kinds = chain_kinds_for_path(netlist, path_nets)
+    fanouts = fanout_load_counts(netlist, path_nets)
+    # average extra loading beyond the on-path sink
+    extra = [max(f - 1, 0) for f in fanouts[1:]]
+    mean_extra = (sum(extra) / len(extra)) if extra else 0.0
+    kwargs = {}
+    if sample is not None:
+        kwargs["device_factors"] = sample.device_factors
+    return build_path(tech=tech, gate_kinds=kinds,
+                      fanout_loads=mean_extra,
+                      side_fanout_stages=(), **kwargs)
+
+
+def validate_path_electrically(netlist, path_nets, omega_in, kind="h",
+                               tech=None, sample=None, dt=None,
+                               min_margin=0.0):
+    """Electrically verify a logic-level ω_in recommendation.
+
+    Returns ``(ok, w_out, path)``: ``ok`` means the injected pulse
+    survives to the equivalent chain's output with at least
+    ``min_margin`` seconds of width.
+    """
+    path = electrical_path_for(netlist, path_nets, tech=tech,
+                               sample=sample)
+    kwargs = {} if dt is None else {"dt": dt}
+    w_out, _ = measure_output_pulse(path, omega_in, kind=kind, **kwargs)
+    return w_out > min_margin, w_out, path
+
+
+def refine_omega_in_electrically(netlist, path_nets, logic_omega_in,
+                                 kind="h", tech=None, sample=None,
+                                 dt=None, margin_factor=1.4):
+    """Electrical refinement of a logic-level ω_in (the paper's flow).
+
+    The analytic screen ranks paths but systematically under-estimates
+    chain thresholds (it ignores inter-stage slew interaction); the
+    final test width comes from electrical simulation of the selected
+    path: the minimum propagatable width is located by bisection and
+    scaled by ``margin_factor`` to clear the attenuation region.
+
+    Returns ``(omega_in, w_out, path)``.
+    """
+    from .transfer import minimum_propagatable_width
+
+    path = electrical_path_for(netlist, path_nets, tech=tech,
+                               sample=sample)
+    kwargs = {} if dt is None else {"dt": dt}
+    w_min = minimum_propagatable_width(
+        path, lo=0.4 * logic_omega_in, hi=6.0 * logic_omega_in,
+        kind=kind, **kwargs)
+    omega_in = w_min * margin_factor
+    w_out, _ = measure_output_pulse(path, omega_in, kind=kind, **kwargs)
+    return omega_in, w_out, path

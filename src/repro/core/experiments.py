@@ -1,0 +1,352 @@
+"""Per-figure experiment drivers.
+
+One function per paper artifact (the DATE 2007 paper has no tables; its
+evaluation is Figs. 2-11).  Each driver returns a plain result object the
+benches print and assert shape properties on.  ``ExperimentConfig``
+centralises population size, time step and resistance grids, with an
+environment knob (``REPRO_FAST=1``) for quick runs.
+"""
+
+import os
+
+import numpy as np
+
+from ..cells import default_technology
+from ..faults import (BridgingFault, ExternalOpen, InternalOpen, PULL_UP,
+                      inject)
+from ..montecarlo import NominalModel, sample_population
+from .calibration import calibrate_delay_test, calibrate_pulse_test
+from .coverage import (delay_coverage, pulse_coverage,
+                       sweep_delay_measurements, sweep_pulse_measurements)
+from .pulse import build_instance, measure_output_pulse
+from .transfer import characterize_transfer, default_w_in_grid
+from ..spice import run_transient
+
+
+class ExperimentConfig:
+    """Knobs shared by the experiment drivers."""
+
+    def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
+                 rop_resistances=None, bridging_resistances=None,
+                 n_paths=10):
+        self.n_samples = int(n_samples)
+        self.dt = float(dt)
+        self.seed = int(seed)
+        self.fault_stage = int(fault_stage)
+        self.rop_resistances = (
+            list(np.geomspace(500.0, 40e3, 10))
+            if rop_resistances is None else list(rop_resistances))
+        self.bridging_resistances = (
+            list(np.geomspace(800.0, 30e3, 10))
+            if bridging_resistances is None else list(bridging_resistances))
+        self.n_paths = int(n_paths)
+
+    @classmethod
+    def from_env(cls, **overrides):
+        """Default config, scaled down when ``REPRO_FAST`` is set."""
+        if os.environ.get("REPRO_FAST"):
+            overrides.setdefault("n_samples", 5)
+            overrides.setdefault("dt", 4e-12)
+            overrides.setdefault(
+                "rop_resistances", list(np.geomspace(1e3, 40e3, 6)))
+            overrides.setdefault(
+                "bridging_resistances", list(np.geomspace(1e3, 30e3, 6)))
+            overrides.setdefault("n_paths", 5)
+        return cls(**overrides)
+
+    def samples(self):
+        return sample_population(self.n_samples, base_seed=self.seed)
+
+    def __repr__(self):
+        return ("ExperimentConfig(n={}, dt={:.0f}ps, stage={})"
+                .format(self.n_samples, self.dt * 1e12, self.fault_stage))
+
+
+# ----------------------------------------------------------------------
+# Figures 2, 3, 5 — waveform demonstrations
+# ----------------------------------------------------------------------
+
+class WaveformExperiment:
+    """Fault-free vs faulty waveforms along the path."""
+
+    def __init__(self, fault, w_in, fault_free, faulty, nodes, vdd):
+        self.fault = fault
+        self.w_in = w_in
+        self.fault_free = fault_free
+        self.faulty = faulty
+        self.nodes = nodes
+        self.vdd = vdd
+
+    def excursion(self, waveform, node):
+        """Peak excursion of ``node`` from its initial value."""
+        baseline = waveform[node][0]
+        return waveform.peak_excursion(node, baseline)
+
+    def dampened_at_output(self):
+        """Faulty output excursion below half-swing while the fault-free
+        output swings fully — the figures' visual claim."""
+        out = self.nodes[-1]
+        return (self.excursion(self.faulty, out) < 0.5 * self.vdd
+                <= self.excursion(self.fault_free, out))
+
+
+def run_waveform_experiment(fault_kind="internal_rop", resistance=8e3,
+                            w_in=0.40e-9, config=None, tech=None):
+    """Reproduce the waveform figures (2: internal ROP, 3: external ROP,
+    5: bridging) at the given defect resistance."""
+    config = ExperimentConfig.from_env() if config is None else config
+    tech = default_technology() if tech is None else tech
+    stage = config.fault_stage
+    if fault_kind == "internal_rop":
+        fault = InternalOpen(stage, PULL_UP, resistance)
+    elif fault_kind == "external_rop":
+        fault = ExternalOpen(stage, resistance)
+    elif fault_kind == "bridging":
+        fault = BridgingFault(stage, resistance)
+    else:
+        raise ValueError("unknown fault kind {!r}".format(fault_kind))
+
+    base = build_instance(sample=NominalModel(), tech=tech)
+    nodes = list(base.stage_nodes)
+
+    def simulate(path):
+        delay = path.set_input_pulse(w_in, kind="h")
+        tstop = (delay + w_in + path.n_gates * 0.35e-9 + 1.2e-9)
+        return run_transient(path.circuit, tstop, config.dt, record=None)
+
+    wf_free = simulate(base)
+    wf_faulty = simulate(inject(base, fault))
+    return WaveformExperiment(fault, w_in, wf_free, wf_faulty, nodes,
+                              tech.vdd)
+
+
+# ----------------------------------------------------------------------
+# Figures 6-9 — coverage vs resistance
+# ----------------------------------------------------------------------
+
+class CoverageExperiment:
+    """Both methods' coverage curves over a resistance grid."""
+
+    def __init__(self, resistances, pulse, delay, calibration, dftest,
+                 samples):
+        self.resistances = list(resistances)
+        self.pulse = pulse          # CoverageResult (C_pulse)
+        self.delay = delay          # CoverageResult (C_del)
+        self.calibration = calibration
+        self.dftest = dftest
+        self.samples = list(samples)
+
+
+def run_open_coverage(config=None, tech=None):
+    """Figs. 6 & 7: external resistive open at the reference stage.
+
+    The paper uses the external open as "the worst case for our method".
+    """
+    config = ExperimentConfig.from_env() if config is None else config
+    samples = config.samples()
+    resistances = config.rop_resistances
+    stage = config.fault_stage
+
+    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt)
+    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt)
+
+    def family(r):
+        return ExternalOpen(stage, r)
+
+    raw_pulse = sweep_pulse_measurements(
+        samples, family, resistances, calibration.omega_in, tech=tech,
+        dt=config.dt)
+    raw_delay = sweep_delay_measurements(
+        samples, family, resistances, tech=tech, dt=config.dt)
+    return CoverageExperiment(
+        resistances,
+        pulse_coverage(raw_pulse, samples, resistances, calibration),
+        delay_coverage(raw_delay, samples, resistances, dftest),
+        calibration, dftest, samples)
+
+
+def run_bridging_coverage(config=None, tech=None):
+    """Figs. 8 & 9: resistive bridging at the reference stage."""
+    config = ExperimentConfig.from_env() if config is None else config
+    samples = config.samples()
+    resistances = config.bridging_resistances
+    stage = config.fault_stage
+
+    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt)
+    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt)
+
+    def family(r):
+        return BridgingFault(stage, r)
+
+    raw_pulse = sweep_pulse_measurements(
+        samples, family, resistances, calibration.omega_in, tech=tech,
+        dt=config.dt)
+    raw_delay = sweep_delay_measurements(
+        samples, family, resistances, tech=tech, dt=config.dt)
+    return CoverageExperiment(
+        resistances,
+        pulse_coverage(raw_pulse, samples, resistances, calibration),
+        delay_coverage(raw_delay, samples, resistances, dftest),
+        calibration, dftest, samples)
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — transfer relation with parameter fluctuations
+# ----------------------------------------------------------------------
+
+class TransferExperiment:
+    def __init__(self, nominal_curve, probe_widths, sample_wouts):
+        self.nominal_curve = nominal_curve
+        self.probe_widths = list(probe_widths)
+        #: {w_in: [w_out per sample]}
+        self.sample_wouts = dict(sample_wouts)
+
+    def spread(self, w_in):
+        values = self.sample_wouts[w_in]
+        return max(values) - min(values)
+
+
+def run_transfer_experiment(config=None, tech=None, probe_widths=None,
+                            kind="h"):
+    """Fig. 10: nominal w_out(w_in) plus the MC scatter at a set of
+    candidate ω_in values (paper: 0.30 ... 0.50 ns)."""
+    config = ExperimentConfig.from_env() if config is None else config
+    samples = config.samples()
+    if probe_widths is None:
+        probe_widths = [0.30e-9, 0.35e-9, 0.40e-9, 0.45e-9, 0.50e-9]
+
+    def nominal_builder():
+        return build_instance(sample=NominalModel(), tech=tech)
+
+    nominal = characterize_transfer(
+        nominal_builder, default_w_in_grid(tech), kind=kind, dt=config.dt)
+
+    scatter = {}
+    for w_in in probe_widths:
+        values = []
+        for sample in samples:
+            path = build_instance(sample=sample, tech=tech)
+            w_out, _ = measure_output_pulse(path, w_in, kind=kind,
+                                            dt=config.dt)
+            values.append(w_out)
+        scatter[w_in] = values
+    return TransferExperiment(nominal, probe_widths, scatter)
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — per-path (omega_in, omega_th, R_min) on a C432-class circuit
+# ----------------------------------------------------------------------
+
+class PathCharacterization:
+    def __init__(self, circuit_name, fault_net, entries, calibration,
+                 refined_best=None):
+        self.circuit_name = circuit_name
+        self.fault_net = fault_net
+        #: list of dicts: path, omega_in, omega_th, r_min, length
+        self.entries = list(entries)
+        self.calibration = calibration
+        #: electrical refinement of the best path's omega_in (or None):
+        #: dict with omega_in, w_out
+        self.refined_best = refined_best
+
+    def best(self):
+        detected = [e for e in self.entries if e["r_min"] is not None]
+        if not detected:
+            return None
+        return min(detected, key=lambda e: e["r_min"])
+
+
+def run_path_characterization(config=None, tech=None, netlist=None,
+                              fault_net=None, sensing_tolerance=0.1,
+                              refine_best=True):
+    """Fig. 11: characterise candidate paths through a fault site.
+
+    Pipeline (Sec. 5): enumerate structural paths through the fault,
+    sensitize each with the ATPG, derive per-path (ω_in, ω_th) from the
+    logic-level pulse model under Monte Carlo timing fluctuation, then
+    compute the minimal detectable resistance via the electrically
+    calibrated defect model.  With ``refine_best`` the winning path's
+    ω_in is finally re-derived by electrical simulation of the
+    equivalent transistor-level chain (the paper ran Fig. 11
+    electrically; the logic level only screens).
+    """
+    from ..logic import (DefectCalibration, GateTiming, generate_c432_like,
+                         characterize_path_for_test,
+                         minimum_detectable_resistance,
+                         path_model_from_netlist, paths_through)
+
+    config = ExperimentConfig.from_env() if config is None else config
+    netlist = generate_c432_like() if netlist is None else netlist
+    if fault_net is None:
+        fault_net = _pick_fault_site(netlist)
+
+    calibration = DefectCalibration.from_electrical(
+        "external", config.rop_resistances, tech=tech, dt=config.dt,
+        stage=config.fault_stage)
+
+    samples = config.samples()
+    entries = []
+    paths = paths_through(netlist, fault_net,
+                          max_paths=config.n_paths * 8)
+    # Short paths first (the cheapest tests); keep characterising until
+    # enough candidates succeeded.
+    paths.sort(key=len)
+    for path in paths:
+        if len(entries) >= config.n_paths:
+            break
+        if len(path) < 3 or path[-1] not in netlist.primary_outputs:
+            continue
+        info = characterize_path_for_test(netlist, path)
+        if info is None:
+            continue
+        # Monte Carlo at the logic level: the weakest instance's w_out
+        # fixes omega_th (same conservative rule as the electrical flow).
+        omega_in = info["omega_in"]
+        wouts = []
+        for sample in samples:
+            timing = GateTiming(sample=sample)
+            model = path_model_from_netlist(netlist, path, timing)
+            wouts.append(model.transfer(omega_in))
+        weakest = min(wouts)
+        if weakest <= 0.0:
+            continue
+        omega_th = weakest / (1.0 + sensing_tolerance)
+        fault_gate_index = path.index(fault_net) - 1
+        if fault_gate_index < 0:
+            continue  # the fault net is the path's PI: not a gate output
+        r_min = minimum_detectable_resistance(
+            info["model"], fault_gate_index, calibration, omega_in,
+            omega_th)
+        entries.append({
+            "path": path,
+            "length": len(path) - 1,
+            "omega_in": omega_in,
+            "omega_th": omega_th,
+            "r_min": r_min,
+        })
+    result = PathCharacterization(netlist.name, fault_net, entries,
+                                  calibration)
+    best = result.best()
+    if refine_best and best is not None:
+        from .crosscheck import refine_omega_in_electrically
+        omega_in, w_out, _ = refine_omega_in_electrically(
+            netlist, best["path"], best["omega_in"], tech=tech,
+            dt=config.dt)
+        result.refined_best = {"omega_in": omega_in, "w_out": w_out}
+    return result
+
+
+def _pick_fault_site(netlist, min_paths=4):
+    """A mid-depth net with enough structural paths through it."""
+    from ..logic import paths_through
+
+    nets = netlist.topological_nets()
+    gate_nets = [n for n in nets if netlist.gate_driving(n) is not None]
+    # scan outward from the middle
+    order = sorted(range(len(gate_nets)),
+                   key=lambda i: abs(i - len(gate_nets) // 2))
+    for index in order:
+        net = gate_nets[index]
+        if len(paths_through(netlist, net, max_paths=min_paths)) >= min_paths:
+            return net
+    raise ValueError("no suitable fault site found")

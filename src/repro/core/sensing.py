@@ -1,0 +1,43 @@
+"""Output transition-sensing circuit model.
+
+The paper reuses the self-checking transition detectors of Metra et al.
+(IEEE Trans. Computers 2000) at the path outputs: circuits that flag any
+transition occurring while signals are expected steady.  Their use here is
+*dual* — seeing the transition means the path propagated the pulse, i.e.
+the circuit is healthy; a fault is flagged by the *absence* of the output
+pulse.
+
+We model the detector behaviourally by its minimal detectable pulse width
+``omega_th`` (the paper's ω_th), subject to a worst-case ±10 % sensitivity
+fluctuation — exactly the abstraction Sec. 4 calibrates against.
+"""
+
+
+class PulseDetector:
+    """A transition detector with threshold ``omega_th`` seconds."""
+
+    def __init__(self, omega_th):
+        omega_th = float(omega_th)
+        if omega_th <= 0.0:
+            raise ValueError("sensing threshold must be positive")
+        self.omega_th = omega_th
+
+    def effective_threshold(self, factor=1.0):
+        """Actual threshold of a fabricated detector instance."""
+        return self.omega_th * factor
+
+    def transition_seen(self, w_out, factor=1.0):
+        """Does the detector register the output pulse?"""
+        return w_out >= self.effective_threshold(factor)
+
+    def fault_detected(self, w_out, factor=1.0):
+        """Fault indication = the expected transition did NOT arrive."""
+        return not self.transition_seen(w_out, factor)
+
+    def scaled(self, scale):
+        """Detector with the nominal threshold scaled (the paper sweeps
+        ω_th' in {0.9, 1.0, 1.1} x ω_th*)."""
+        return PulseDetector(self.omega_th * scale)
+
+    def __repr__(self):
+        return "PulseDetector(omega_th={:.3e}s)".format(self.omega_th)

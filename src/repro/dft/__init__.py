@@ -1,0 +1,15 @@
+"""Reduced-clock delay-fault testing baseline (C_del)."""
+
+from .clock_network import (ClockTree, calibrate_t_star_with_tree,
+                            farthest_leaf_pair)
+from .flipflop import FlipFlopTiming
+from .ordering import (DualPathCircuit, OrderingTest, build_dual_path,
+                       calibrate_ordering_test, ordering_coverage,
+                       output_arrival, sweep_ordering_measurements)
+from .reduced_clock import DelayFaultTest, calibrate_t_star
+
+__all__ = ["FlipFlopTiming", "DelayFaultTest", "calibrate_t_star",
+           "ClockTree", "calibrate_t_star_with_tree", "farthest_leaf_pair",
+           "DualPathCircuit", "OrderingTest", "build_dual_path",
+           "calibrate_ordering_test", "sweep_ordering_measurements",
+           "ordering_coverage", "output_arrival"]

@@ -1,0 +1,118 @@
+"""Clock distribution network model.
+
+Sections 1 and 4: DF testing "should account not only for the
+uncertainties on the path's delays, but also for the uncertainties
+related to the timing of the clock distribution network.  In fact, the
+buffers used to regenerate the clock signals may be affected by delay
+fluctuations" — and the launching and capturing flip-flops generally
+hang off *different* branches, so their skews do not cancel.
+
+This module models a balanced binary clock buffer tree whose per-buffer
+delays fluctuate with the die's variation model.  The skew between two
+leaves is the difference of their branch-delay sums; the *applied* test
+period seen by a launch/capture pair is the nominal one plus that skew.
+The pulse method needs none of this — its generator and detector are
+local — which is exactly the asymmetry Figs. 6/7 quantify.
+"""
+
+class ClockTree:
+    """Balanced binary buffer tree with ``depth`` levels.
+
+    Leaves are indexed 0 .. 2**depth - 1; the path from the root to a
+    leaf crosses ``depth`` buffers.  Each buffer's delay is
+    ``buffer_delay`` scaled by a per-buffer factor from the variation
+    model (deterministic per instance and per buffer position).
+    """
+
+    def __init__(self, depth=4, buffer_delay=70e-12):
+        if depth < 1:
+            raise ValueError("tree depth must be >= 1")
+        if buffer_delay <= 0:
+            raise ValueError("buffer delay must be positive")
+        self.depth = int(depth)
+        self.buffer_delay = float(buffer_delay)
+
+    @property
+    def n_leaves(self):
+        return 2 ** self.depth
+
+    def _buffer_factor(self, sample, level, index):
+        if sample is None:
+            return 1.0
+        return sample.timing_factor(
+            "clk:{}:{}".format(level, index))
+
+    def leaf_delay(self, leaf, sample=None):
+        """Root-to-leaf insertion delay for one die instance."""
+        if not 0 <= leaf < self.n_leaves:
+            raise ValueError("leaf {} out of range".format(leaf))
+        total = 0.0
+        for level in range(self.depth):
+            # node index of the buffer crossed at this level
+            node = leaf >> (self.depth - 1 - level)
+            total += self.buffer_delay * self._buffer_factor(
+                sample, level, node)
+        return total
+
+    def skew(self, launch_leaf, capture_leaf, sample=None):
+        """Capture-minus-launch insertion-delay difference.
+
+        Positive skew means the capture clock arrives late, *extending*
+        the applied period; negative skew shortens it (the dangerous
+        direction for false negatives... and for yield when calibrating).
+        """
+        return (self.leaf_delay(capture_leaf, sample)
+                - self.leaf_delay(launch_leaf, sample))
+
+    def applied_period(self, nominal_period, launch_leaf, capture_leaf,
+                       sample=None):
+        """Effective test period for a launch/capture pair on one die."""
+        return nominal_period + self.skew(launch_leaf, capture_leaf,
+                                          sample)
+
+    def worst_case_skew(self, samples, launch_leaf, capture_leaf):
+        """Most period-shortening skew across a population."""
+        return min(self.skew(launch_leaf, capture_leaf, sample)
+                   for sample in samples)
+
+    def skew_population(self, samples, launch_leaf, capture_leaf):
+        """Skews across a population (for distribution statistics)."""
+        return [self.skew(launch_leaf, capture_leaf, sample)
+                for sample in samples]
+
+    def __repr__(self):
+        return "ClockTree(depth={}, buffer_delay={:.0f}ps)".format(
+            self.depth, self.buffer_delay * 1e12)
+
+
+def farthest_leaf_pair(tree):
+    """A launch/capture pair on maximally disjoint branches (the worst
+    case the paper's argument uses: only the root is shared)."""
+    return 0, tree.n_leaves - 1
+
+
+def calibrate_t_star_with_tree(fault_free_delays, samples, flipflop,
+                               tree, launch_leaf, capture_leaf):
+    """T* calibration with the explicit tree-skew model.
+
+    The yield constraint: no fault-free instance may fail under its own
+    die's skew realisation:
+
+        min_s [T* + skew_s] >= max_s [d_s + overhead_s]
+
+    (conservatively decoupled: T* = max_s(d_s + overhead_s) - min_s skew_s).
+    """
+    from .reduced_clock import DelayFaultTest
+
+    if len(fault_free_delays) != len(samples):
+        raise ValueError("delays and samples must be aligned")
+    worst_data = max(
+        d + flipflop.sampled_overhead(s)
+        for d, s in zip(fault_free_delays, samples))
+    worst_skew = tree.worst_case_skew(samples, launch_leaf, capture_leaf)
+    t_star = worst_data - worst_skew
+    # Express the tree margin as an equivalent skew tolerance so the
+    # standard DelayFaultTest API applies.
+    tolerance = max(0.0, -worst_skew / t_star)
+    return DelayFaultTest(t_star, flipflop,
+                          skew_tolerance=min(tolerance, 0.99))

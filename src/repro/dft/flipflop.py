@@ -1,0 +1,37 @@
+"""Behavioural flip-flop timing model for the DF-testing baseline.
+
+Section 4: the test circuitry includes a launching flip-flop FF0 and a
+capturing flip-flop FF1; a faulty instance is detected when
+
+    T' < d_p(R) + tau_CQ + tau_DC
+
+where ``tau_CQ`` is FF0's clock-to-Q delay and ``tau_DC`` FF1's setup
+time.  Both fluctuate with process variation; per-instance factors come
+from the variation model's timing stream.
+"""
+
+
+class FlipFlopTiming:
+    """Nominal flip-flop timing parameters (seconds)."""
+
+    def __init__(self, tau_cq=80e-12, tau_dc=60e-12):
+        if tau_cq < 0 or tau_dc < 0:
+            raise ValueError("flip-flop timing must be non-negative")
+        self.tau_cq = float(tau_cq)
+        self.tau_dc = float(tau_dc)
+
+    @property
+    def nominal_overhead(self):
+        """tau_CQ + tau_DC under nominal conditions."""
+        return self.tau_cq + self.tau_dc
+
+    def sampled_overhead(self, sample=None):
+        """Per-instance tau_CQ + tau_DC with timing fluctuation applied."""
+        if sample is None:
+            return self.nominal_overhead
+        return (self.tau_cq * sample.timing_factor("ff0.cq")
+                + self.tau_dc * sample.timing_factor("ff1.setup"))
+
+    def __repr__(self):
+        return "FlipFlopTiming(tau_cq={:.0f}ps, tau_dc={:.0f}ps)".format(
+            self.tau_cq * 1e12, self.tau_dc * 1e12)

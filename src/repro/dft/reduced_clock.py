@@ -1,0 +1,76 @@
+"""Reduced-clock-period delay-fault testing (the comparison baseline).
+
+The faster-than-at-speed technique of Sec. 4: apply an input transition,
+sample the path output with a clock period ``T'`` smaller than the
+functional one, and flag instances whose transition arrives after the
+sampling instant.
+
+Calibration mirrors the paper: Monte Carlo fault-free simulation selects a
+nominal ``T*`` such that *no false positive occurs even if the applied
+clock period is 10 % below nominal* — the margin absorbing clock skew and
+clock-distribution-network uncertainty, the very effect the pulse method
+is immune to.
+"""
+
+import math
+
+
+class DelayFaultTest:
+    """A calibrated reduced-clock test for one path."""
+
+    def __init__(self, t_star, flipflop, skew_tolerance=0.1):
+        if t_star <= 0:
+            raise ValueError("T* must be positive")
+        if not 0.0 <= skew_tolerance < 1.0:
+            raise ValueError("skew tolerance must be in [0, 1)")
+        self.t_star = float(t_star)
+        self.flipflop = flipflop
+        self.skew_tolerance = float(skew_tolerance)
+
+    def applied_period(self, t_factor=1.0):
+        """The clock period actually hitting the die: ``t_factor * T*``.
+
+        The paper evaluates t_factor in {0.9, 1.0, 1.1} to show the
+        sensitivity of DF testing to clock-network fluctuations.
+        """
+        return self.t_star * t_factor
+
+    def detects(self, path_delay, sample=None, t_factor=1.0):
+        """Detection condition: T' < d_p + tau_CQ + tau_DC.
+
+        ``path_delay = math.inf`` (output never switched / functional
+        error) is always detected.
+        """
+        if math.isinf(path_delay):
+            return True
+        total = path_delay + self.flipflop.sampled_overhead(sample)
+        return self.applied_period(t_factor) < total
+
+    def __repr__(self):
+        return "DelayFaultTest(T*={:.0f}ps, skew_tol={:.0%})".format(
+            self.t_star * 1e12, self.skew_tolerance)
+
+
+def calibrate_t_star(fault_free_delays, samples, flipflop,
+                     skew_tolerance=0.1):
+    """Choose T* from fault-free Monte Carlo results.
+
+    ``fault_free_delays`` are per-sample path delays (seconds), aligned
+    with ``samples``.  The requirement is that no fault-free instance
+    fails even when the applied period droops to ``(1 - skew_tolerance) *
+    T*``:
+
+        (1 - skew_tolerance) * T* >= max_s (d_s + overhead_s)
+    """
+    if len(fault_free_delays) != len(samples):
+        raise ValueError("delays and samples must be aligned")
+    if not fault_free_delays:
+        raise ValueError("calibration needs at least one sample")
+    worst = max(
+        delay + flipflop.sampled_overhead(sample)
+        for delay, sample in zip(fault_free_delays, samples))
+    if math.isinf(worst):
+        raise ValueError("a fault-free instance never propagated; "
+                         "the structure is broken, not calibratable")
+    t_star = worst / (1.0 - skew_tolerance)
+    return DelayFaultTest(t_star, flipflop, skew_tolerance)

@@ -1,0 +1,19 @@
+"""Resistive-open and bridging fault models + electrical injection."""
+
+from .injection import (inject, inject_bridging, inject_external_open,
+                        inject_feedback_bridging,
+                        inject_internal_bridging, inject_internal_open,
+                        set_fault_resistance)
+from .models import (BridgingFault, ExternalOpen, FaultSpec,
+                     FeedbackBridgingFault,
+                     InternalBridgingFault, InternalOpen, PULL_DOWN,
+                     PULL_UP)
+
+__all__ = [
+    "FaultSpec", "InternalOpen", "ExternalOpen", "BridgingFault",
+    "InternalBridgingFault", "inject_internal_bridging",
+    "FeedbackBridgingFault", "inject_feedback_bridging",
+    "PULL_UP", "PULL_DOWN",
+    "inject", "inject_internal_open", "inject_external_open",
+    "inject_bridging", "set_fault_resistance",
+]

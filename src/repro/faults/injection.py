@@ -1,0 +1,205 @@
+"""Electrical-level fault injection.
+
+Each injector takes a :class:`~repro.cells.PathCircuit` and a fault spec,
+and returns a *new* PathCircuit whose netlist carries the defect; the
+original is never mutated, so a Monte Carlo instance can be measured
+fault-free and then re-measured with any number of faults.
+"""
+
+from ..cells.chain import PathCircuit
+from ..cells.library import build_inverter
+from ..spice import Dc
+from ..spice.errors import NetlistError
+from .models import (BridgingFault, ExternalOpen, FeedbackBridgingFault,
+                     InternalBridgingFault, InternalOpen, PULL_UP)
+
+
+def inject(path, fault):
+    """Dispatch on the fault type; returns a faulty copy of ``path``."""
+    if isinstance(fault, InternalOpen):
+        return inject_internal_open(path, fault)
+    if isinstance(fault, ExternalOpen):
+        return inject_external_open(path, fault)
+    if isinstance(fault, InternalBridgingFault):
+        return inject_internal_bridging(path, fault)
+    if isinstance(fault, FeedbackBridgingFault):
+        return inject_feedback_bridging(path, fault)
+    if isinstance(fault, BridgingFault):
+        return inject_bridging(path, fault)
+    raise NetlistError("unknown fault spec {!r}".format(fault))
+
+
+def inject_internal_open(path, fault):
+    """Series R between the rail and the selected network of one cell.
+
+    Implemented by moving the rail-side source terminals of the network's
+    devices onto a private node joined to the rail through ``R`` — i.e. a
+    resistive via on the cell's rail connection, the classic Fig. 1a
+    defect.
+    """
+    faulty = path.copy()
+    circuit = faulty.circuit
+    cell = faulty.cell_at(fault.stage)
+    if fault.network == PULL_UP:
+        rail_devices = cell.pullup_rail_devices
+        rail = faulty.vdd_node
+    else:
+        rail_devices = cell.pulldown_rail_devices
+        rail = "0"
+    if not rail_devices:
+        raise NetlistError(
+            "cell {} exposes no {} rail devices".format(
+                cell.name, fault.network))
+    broken = circuit.new_node("{}_open".format(cell.name))
+    for device_name, terminal in rail_devices:
+        element = circuit.element(device_name)
+        if element.node(terminal) != rail:
+            raise NetlistError(
+                "{}:{} expected on rail {!r}, found {!r}".format(
+                    device_name, terminal, rail, element.node(terminal)))
+        element.rewire(terminal, broken)
+    circuit.add_resistor("R_fault", rail, broken, fault.resistance)
+    return faulty
+
+
+#: share of a net's wire capacitance belonging to the faulty branch (the
+#: interconnect segment *after* the resistive via also has wire load)
+BRANCH_WIRE_FRACTION = 0.5
+
+
+def inject_external_open(path, fault):
+    """Series R on the branch feeding the next on-path gate (Fig. 1b).
+
+    The next cell's gate terminals move behind the resistance, together
+    with the branch's share of the net wire capacitance — a resistive via
+    sits between the driver and the rest of the branch interconnect.
+    """
+    faulty = path.copy()
+    circuit = faulty.circuit
+    net = faulty.stage_nodes[fault.stage]
+    if fault.stage >= faulty.n_gates:
+        raise NetlistError(
+            "external open needs a downstream gate; stage {} is the last"
+            .format(fault.stage))
+    next_cell = faulty.cell_at(fault.stage + 1)
+    # Move every terminal of the next on-path cell that reads this net
+    # (its gate inputs) behind the resistance.
+    sinks = []
+    for device_name in next_cell.nmos_names + next_cell.pmos_names:
+        element = circuit.element(device_name)
+        if element.node("g") == net:
+            sinks.append((device_name, "g"))
+    if not sinks:
+        raise NetlistError(
+            "next cell {} does not read net {!r}".format(next_cell.name, net))
+    far_node = circuit.split_net(net, sinks, fault.resistance,
+                                 res_name="R_fault")
+    # Re-apportion the wire capacitance between the two branch segments.
+    wire_cap_name = "g{}.cw".format(fault.stage)
+    if wire_cap_name in circuit:
+        wire_cap = circuit.element(wire_cap_name)
+        branch_c = wire_cap.capacitance * BRANCH_WIRE_FRACTION
+        wire_cap.capacitance -= branch_c
+        circuit.add_capacitor("R_fault.cw", far_node, "0", branch_c)
+    return faulty
+
+
+def inject_bridging(path, fault):
+    """Bridge a stage output to a steady aggressor gate output (Fig. 4).
+
+    The aggressor is a real inverter (so the contention is fought by a
+    transistor channel, not an ideal source) whose input is tied to a rail
+    such that its output holds the requested steady value.  By default the
+    steady value opposes the victim node's *active* (pulsed/transitioned)
+    excursion, assuming the input idles at 0 and pulses high — the
+    dampening worst case used in Sec. 4.
+    """
+    faulty = path.copy()
+    circuit = faulty.circuit
+    victim = faulty.stage_nodes[fault.stage]
+
+    aggressor_value = fault.aggressor_value
+    if aggressor_value is None:
+        # Victim idles at idle_level(stage, input_idle=0); its excursion
+        # goes toward the opposite value, so the aggressor holds the idle
+        # value to fight the excursion.
+        aggressor_value = faulty.idle_level(fault.stage, 0)
+
+    # Inverter output = aggressor_value  =>  input = NOT value.
+    agg_in = "bf_in"
+    agg_out = "bf_out"
+    drive = 0.0 if aggressor_value else faulty.tech.vdd
+    circuit.add_vsource("VBF", agg_in, "0", Dc(drive))
+    build_inverter(circuit, "gbf", agg_in, agg_out, faulty.tech,
+                   vdd=faulty.vdd_node)
+    circuit.add_bridge(victim, agg_out, fault.resistance,
+                       res_name="R_fault")
+    return faulty
+
+
+def inject_internal_bridging(path, fault):
+    """Bridge a cell-internal stack node to a steady aggressor output.
+
+    The victim cell must expose internal nodes (NAND/NOR series stacks);
+    inverters have none and raise.  The aggressor construction mirrors
+    :func:`inject_bridging`; by default it holds the value opposing the
+    stack node's active excursion (for an NMOS stack the internal node
+    is dragged high while the stack is off, so a low aggressor fights
+    the pull-down the hardest).
+    """
+    faulty = path.copy()
+    circuit = faulty.circuit
+    cell = faulty.cell_at(fault.stage)
+    if not cell.internal_nodes:
+        raise NetlistError(
+            "cell {} ({}) has no internal nodes to bridge".format(
+                cell.name, cell.kind))
+    try:
+        victim = cell.internal_nodes[fault.internal_index]
+    except IndexError:
+        raise NetlistError(
+            "cell {} has {} internal nodes, index {} out of range".format(
+                cell.name, len(cell.internal_nodes), fault.internal_index))
+
+    aggressor_value = fault.aggressor_value
+    if aggressor_value is None:
+        # NMOS-stack internal nodes (nand) sit low when conducting: hold
+        # high to disturb; PMOS-stack nodes (nor) the dual.
+        aggressor_value = 1 if cell.kind.startswith("nand") else 0
+
+    agg_in = "bfi_in"
+    agg_out = "bfi_out"
+    drive = 0.0 if aggressor_value else faulty.tech.vdd
+    circuit.add_vsource("VBFI", agg_in, "0", Dc(drive))
+    build_inverter(circuit, "gbfi", agg_in, agg_out, faulty.tech,
+                   vdd=faulty.vdd_node)
+    circuit.add_bridge(victim, agg_out, fault.resistance,
+                       res_name="R_fault")
+    return faulty
+
+
+def inject_feedback_bridging(path, fault):
+    """Bridge a later stage output back to an earlier one (Fig. 4's
+    feedback variant).  No aggressor gate is needed: the loop's own
+    gates fight through the resistance."""
+    faulty = path.copy()
+    if fault.to_stage > faulty.n_gates:
+        raise NetlistError(
+            "to_stage {} beyond the path".format(fault.to_stage))
+    node_early = faulty.stage_nodes[fault.from_stage]
+    node_late = faulty.stage_nodes[fault.to_stage]
+    faulty.circuit.add_bridge(node_late, node_early, fault.resistance,
+                              res_name="R_fault")
+    return faulty
+
+
+def set_fault_resistance(path, resistance):
+    """Adjust the injected fault's resistance in place (element R_fault).
+
+    Avoids rebuilding the netlist when sweeping R for the same instance.
+    """
+    resistor = path.circuit.element("R_fault")
+    if resistance <= 0.0:
+        raise NetlistError("fault resistance must be positive")
+    resistor.resistance = float(resistance)
+    return path

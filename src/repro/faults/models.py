@@ -1,0 +1,175 @@
+"""Fault specifications (Sec. 2 of the paper).
+
+Three electrical defect classes are modelled, all parameterised by a
+resistance ``R``:
+
+* :class:`InternalOpen` — a partial break / resistive via inside a cell,
+  in series with the pull-up or pull-down network (Fig. 1a).  Slows one
+  output transition polarity only, which is what makes pulses shrink.
+* :class:`ExternalOpen` — a resistive open on an output interconnect
+  fan-out branch (Fig. 1b).  Degrades both edges of the branch equally.
+* :class:`BridgingFault` — a resistive short between the output of a gate
+  on the path and the steady output of another gate (Fig. 4, non-feedback
+  external bridging).
+"""
+
+PULL_UP = "pullup"
+PULL_DOWN = "pulldown"
+
+
+class FaultSpec:
+    """Base class: a resistive defect of strength ``resistance`` ohms."""
+
+    def __init__(self, resistance):
+        resistance = float(resistance)
+        if resistance <= 0.0:
+            raise ValueError("fault resistance must be positive")
+        self.resistance = resistance
+
+    def with_resistance(self, resistance):
+        """A copy of this fault at a different resistance value."""
+        raise NotImplementedError
+
+    def describe(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}({})".format(type(self).__name__, self.describe())
+
+
+class InternalOpen(FaultSpec):
+    """Resistive open inside a cell's pull-up or pull-down network.
+
+    ``stage`` is the 1-based index of the affected gate along the path;
+    ``network`` selects which transition is impaired: a pull-up open slows
+    rising output transitions (the paper's Fig. 1a example).
+    """
+
+    def __init__(self, stage, network, resistance):
+        super().__init__(resistance)
+        if network not in (PULL_UP, PULL_DOWN):
+            raise ValueError("network must be 'pullup' or 'pulldown'")
+        self.stage = int(stage)
+        self.network = network
+
+    def with_resistance(self, resistance):
+        return InternalOpen(self.stage, self.network, resistance)
+
+    def describe(self):
+        return "internal open, stage {}, {} network, R={:.0f} ohm".format(
+            self.stage, self.network, self.resistance)
+
+
+class ExternalOpen(FaultSpec):
+    """Resistive open on the on-path fan-out branch of a stage output.
+
+    The branch from the stage output to the *next* on-path gate input is
+    placed behind the resistance; other sinks (side fan-out, loads) stay
+    directly connected, reproducing Fig. 1b where only the B->C branch is
+    resistive.
+    """
+
+    def __init__(self, stage, resistance):
+        super().__init__(resistance)
+        self.stage = int(stage)
+
+    def with_resistance(self, resistance):
+        return ExternalOpen(self.stage, resistance)
+
+    def describe(self):
+        return "external open, stage {} output branch, R={:.0f} ohm".format(
+            self.stage, self.resistance)
+
+
+class FeedbackBridgingFault(FaultSpec):
+    """Bridging that closes a feedback loop over part of the path.
+
+    Sec. 2: low-resistance bridgings "give rise to functional errors or
+    oscillations (in case they close inverting feedback loops)".
+    Bridging stage ``to_stage``'s output back onto stage ``from_stage``'s
+    output closes a loop through the gates in between; with an odd
+    number of inversions the loop is inverting and oscillates below a
+    technology-dependent resistance.
+    """
+
+    def __init__(self, from_stage, to_stage, resistance):
+        super().__init__(resistance)
+        if to_stage <= from_stage:
+            raise ValueError(
+                "feedback needs to_stage > from_stage")
+        self.from_stage = int(from_stage)
+        self.to_stage = int(to_stage)
+
+    @property
+    def loop_length(self):
+        """Number of gates inside the loop."""
+        return self.to_stage - self.from_stage
+
+    def with_resistance(self, resistance):
+        return FeedbackBridgingFault(self.from_stage, self.to_stage,
+                                     resistance)
+
+    def describe(self):
+        return ("feedback bridging, stage {} output to stage {} output, "
+                "R={:.0f} ohm").format(self.to_stage, self.from_stage,
+                                       self.resistance)
+
+
+class InternalBridgingFault(FaultSpec):
+    """Resistive bridging involving a cell-*internal* node.
+
+    The paper notes that "the case of internal BFs is slightly more
+    complex and it is not considered here for the sake of brevity"; this
+    extension models it: the internal node of a series stack (e.g. the
+    mid-node of a NAND's NMOS chain) bridges to the steady output of an
+    aggressor gate.  Only gates with series stacks (NAND/NOR) expose
+    internal nodes; ``internal_index`` selects which one.
+    """
+
+    def __init__(self, stage, resistance, internal_index=0,
+                 aggressor_value=None):
+        super().__init__(resistance)
+        self.stage = int(stage)
+        self.internal_index = int(internal_index)
+        if aggressor_value not in (None, 0, 1):
+            raise ValueError("aggressor_value must be None, 0 or 1")
+        self.aggressor_value = aggressor_value
+
+    def with_resistance(self, resistance):
+        return InternalBridgingFault(self.stage, resistance,
+                                     self.internal_index,
+                                     self.aggressor_value)
+
+    def describe(self):
+        return ("internal bridging, stage {} stack node {}, "
+                "R={:.0f} ohm").format(self.stage, self.internal_index,
+                                       self.resistance)
+
+
+class BridgingFault(FaultSpec):
+    """Non-feedback external bridging between a stage output and the
+    steady output of an aggressor gate (Fig. 4).
+
+    ``aggressor_value`` is the steady logic value the aggressor drives.
+    ``None`` selects the value opposing the victim's pulse excursion,
+    which is the paper's test condition (the other bridged gate's output
+    "remains steady" and fights the transition).
+    """
+
+    def __init__(self, stage, resistance, aggressor_value=None):
+        super().__init__(resistance)
+        self.stage = int(stage)
+        if aggressor_value not in (None, 0, 1):
+            raise ValueError("aggressor_value must be None, 0 or 1")
+        self.aggressor_value = aggressor_value
+
+    def with_resistance(self, resistance):
+        return BridgingFault(self.stage, resistance, self.aggressor_value)
+
+    def describe(self):
+        return ("bridging, stage {} output vs steady aggressor ({}), "
+                "R={:.0f} ohm").format(
+                    self.stage,
+                    "auto" if self.aggressor_value is None
+                    else self.aggressor_value,
+                    self.resistance)

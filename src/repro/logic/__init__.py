@@ -1,0 +1,45 @@
+"""Gate-level substrate: netlists, benchmarks, timing simulation, pulse
+models, path enumeration, sensitization ATPG and fault simulation."""
+
+from .atpg import (SensitizationResult, find_sensitizable_path,
+                   sensitize_path, side_input_objectives)
+from .campaign import (CampaignResult, FaultSiteResult,
+                       evaluate_fault_site, run_campaign)
+from .bench_parser import load_bench, parse_bench, write_bench
+from .benchmarks import (c17, generate_c432_like, generate_random_circuit)
+from .delay_test import (arrival_times, calibrate_logic_delay_test,
+                         critical_delay, df_best_r_min_for_site,
+                         df_minimum_detectable_resistance,
+                         edge_at_net, path_delay, slack_of_path)
+from .fault_sim import (DefectCalibration, PulseTestResult,
+                        characterize_path_for_test,
+                        minimum_detectable_resistance, run_pulse_test)
+from .netlist import Gate, LogicNetlist
+from .paths import (fanout_load_counts, longest_paths_by_depth, path_gates,
+                    path_inversion_parity, paths_through)
+from .pulse_model import (GatePulseModel, PathPulseModel,
+                          calibrate_gate_model, model_for_gate,
+                          path_model_from_netlist)
+from .simulator import (GateTiming, NetDelayDefect, SimulationTrace,
+                        TimingSimulator)
+
+__all__ = [
+    "Gate", "LogicNetlist",
+    "parse_bench", "load_bench", "write_bench",
+    "c17", "generate_c432_like", "generate_random_circuit",
+    "GateTiming", "NetDelayDefect", "TimingSimulator", "SimulationTrace",
+    "GatePulseModel", "PathPulseModel", "model_for_gate",
+    "path_model_from_netlist", "calibrate_gate_model",
+    "paths_through", "path_gates", "path_inversion_parity",
+    "fanout_load_counts", "longest_paths_by_depth",
+    "sensitize_path", "side_input_objectives", "SensitizationResult",
+    "find_sensitizable_path",
+    "DefectCalibration", "PulseTestResult", "run_pulse_test",
+    "CampaignResult", "FaultSiteResult", "evaluate_fault_site",
+    "run_campaign",
+    "arrival_times", "critical_delay", "path_delay", "edge_at_net",
+    "calibrate_logic_delay_test", "df_minimum_detectable_resistance",
+    "df_best_r_min_for_site",
+    "slack_of_path",
+    "minimum_detectable_resistance", "characterize_path_for_test",
+]

@@ -1,0 +1,81 @@
+"""ISCAS-85 ``.bench`` format parser and writer.
+
+The format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+
+Gate names in .bench are the output net names.
+"""
+
+import re
+
+from .netlist import LogicNetlist
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$",
+                      re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*?)\s*\)$")
+
+#: .bench operator name -> internal gate kind
+_KIND_MAP = {"and": "and", "nand": "nand", "or": "or", "nor": "nor",
+             "not": "not", "buf": "buf", "buff": "buf", "xor": "xor",
+             "xnor": "xnor"}
+
+
+def parse_bench(text, name="bench"):
+    """Parse .bench source text into a :class:`LogicNetlist`."""
+    netlist = LogicNetlist(name)
+    pending_outputs = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, net = decl.group(1).upper(), decl.group(2)
+            if keyword == "INPUT":
+                netlist.add_input(net)
+            else:
+                pending_outputs.append(net)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            output, op, arglist = gate.groups()
+            kind = _KIND_MAP.get(op.lower())
+            if kind is None:
+                raise ValueError(
+                    "line {}: unknown operator {!r}".format(lineno, op))
+            inputs = [a.strip() for a in arglist.split(",") if a.strip()]
+            netlist.add_gate(kind, inputs, output)
+            continue
+        raise ValueError("line {}: cannot parse {!r}".format(lineno, raw))
+    for net in pending_outputs:
+        netlist.add_output(net)
+    netlist.validate()
+    return netlist
+
+
+def load_bench(path):
+    """Parse a .bench file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    return parse_bench(text, name=str(path))
+
+
+def write_bench(netlist):
+    """Serialise a netlist back to .bench text."""
+    lines = ["# {}".format(netlist.name)]
+    for net in netlist.primary_inputs:
+        lines.append("INPUT({})".format(net))
+    for net in netlist.primary_outputs:
+        lines.append("OUTPUT({})".format(net))
+    lines.append("")
+    for net in netlist.topological_nets():
+        gate = netlist.gate_driving(net)
+        if gate is not None:
+            lines.append("{} = {}({})".format(
+                gate.output, gate.kind.upper(), ", ".join(gate.inputs)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,215 @@
+"""Logic-level reduced-clock DF testing: STA, calibration, R_min.
+
+The gate-level counterpart of :mod:`repro.dft`, so the two methods can
+be compared across *whole circuits*: static timing analysis (rise/fall
+arrival times), T* calibration on the Monte Carlo fault-free population,
+and per-fault-site minimal detectable resistance via the electrically
+calibrated defect tables.
+
+This is what makes the paper's path-local comparison (Figs. 6-9)
+scale to full netlists: a defect on a short path enjoys slack
+``T' - d_p`` that reduced-clock testing must overcome, while the pulse
+test's detectability is slack-independent.
+"""
+
+import math
+
+import numpy as np
+
+from ..dft import FlipFlopTiming, calibrate_t_star
+from .paths import path_gates
+from .simulator import GateTiming
+
+INVERTING_KINDS = frozenset({"not", "nand", "nor"})
+NONINVERTING_KINDS = frozenset({"buf", "and", "or"})
+
+
+def arrival_times(netlist, timing, launch=0.0):
+    """Static timing analysis: per-net (rise, fall) arrival times.
+
+    All primary inputs launch at ``launch`` for both edges (the common
+    test-clock edge).  Returns ``{net: (t_rise, t_fall)}``.
+    """
+    arrivals = {}
+    for pi in netlist.primary_inputs:
+        arrivals[pi] = (launch, launch)
+    for net in netlist.topological_nets():
+        gate = netlist.gate_driving(net)
+        if gate is None:
+            continue
+        tp_lh, tp_hl = timing.delays(gate)
+        in_rise = max(arrivals[i][0] for i in gate.inputs)
+        in_fall = max(arrivals[i][1] for i in gate.inputs)
+        if gate.kind in INVERTING_KINDS:
+            out_rise = in_fall + tp_lh
+            out_fall = in_rise + tp_hl
+        elif gate.kind in NONINVERTING_KINDS:
+            out_rise = in_rise + tp_lh
+            out_fall = in_fall + tp_hl
+        else:  # xor/xnor: either input edge can cause either output edge
+            worst = max(in_rise, in_fall)
+            out_rise = worst + tp_lh
+            out_fall = worst + tp_hl
+        arrivals[net] = (out_rise, out_fall)
+    return arrivals
+
+
+def critical_delay(netlist, timing):
+    """Worst PO arrival time (the functional critical path delay)."""
+    arrivals = arrival_times(netlist, timing)
+    outputs = netlist.primary_outputs or list(arrivals)
+    return max(max(arrivals[po]) for po in outputs)
+
+
+def path_delay(netlist, path_nets, timing, launch_direction="rise",
+               side_values=None):
+    """Delay of one structural path for a given launched edge.
+
+    Tracks the edge polarity gate by gate; XOR/XNOR polarity needs the
+    side values (from the sensitizing vector).
+    """
+    if launch_direction not in ("rise", "fall"):
+        raise ValueError("launch_direction must be 'rise' or 'fall'")
+    edge = launch_direction
+    total = 0.0
+    for gate, in_net in zip(path_gates(netlist, path_nets), path_nets):
+        inverting = gate.kind in INVERTING_KINDS
+        if gate.kind in ("xor", "xnor"):
+            if side_values is None:
+                raise ValueError("XOR on path needs side values")
+            ones = sum(side_values[i] for i in gate.inputs
+                       if i != in_net)
+            inverting = bool(ones % 2) ^ (gate.kind == "xnor")
+        edge = ("fall" if edge == "rise" else "rise") if inverting else (
+            edge)
+        tp_lh, tp_hl = timing.delays(gate)
+        total += tp_lh if edge == "rise" else tp_hl
+    return total
+
+
+def edge_at_net(netlist, path_nets, target_net, launch_direction="rise",
+                side_values=None):
+    """Edge polarity arriving at ``target_net`` along the path."""
+    edge = launch_direction
+    if path_nets[0] == target_net:
+        return edge
+    for gate, in_net in zip(path_gates(netlist, path_nets), path_nets):
+        inverting = gate.kind in INVERTING_KINDS
+        if gate.kind in ("xor", "xnor"):
+            if side_values is None:
+                raise ValueError("XOR on path needs side values")
+            ones = sum(side_values[i] for i in gate.inputs
+                       if i != in_net)
+            inverting = bool(ones % 2) ^ (gate.kind == "xnor")
+        edge = ("fall" if edge == "rise" else "rise") if inverting else (
+            edge)
+        if gate.output == target_net:
+            return edge
+    raise ValueError("net {!r} not on path".format(target_net))
+
+
+def calibrate_logic_delay_test(netlist, samples, base_timing=None,
+                               flipflop=None, skew_tolerance=0.1):
+    """T* for the whole circuit from the fault-free MC population.
+
+    Per instance the critical delay is recomputed with the sample's
+    per-gate timing fluctuations; then the same yield-first rule as the
+    electrical flow applies (:func:`repro.dft.calibrate_t_star`).
+    """
+    base_timing = GateTiming() if base_timing is None else base_timing
+    flipflop = FlipFlopTiming() if flipflop is None else flipflop
+    delays = []
+    for sample in samples:
+        timing = GateTiming(table=base_timing.table,
+                            default=base_timing.default, sample=sample)
+        delays.append(critical_delay(netlist, timing))
+    return calibrate_t_star(delays, samples, flipflop,
+                            skew_tolerance=skew_tolerance)
+
+
+def df_minimum_detectable_resistance(netlist, path_nets, fault_net,
+                                     calibration, test, timing=None,
+                                     side_values=None, sample=None,
+                                     t_factor=1.0):
+    """Smallest open resistance reduced-clock testing flags on a path.
+
+    The launched edge is chosen to maximise the defect's added delay at
+    the fault site (the DF test generator's freedom).  Returns None when
+    even the largest calibrated R leaves the path inside the applied
+    period.
+    """
+    timing = GateTiming() if timing is None else timing
+    overhead = test.flipflop.sampled_overhead(sample)
+    applied = test.applied_period(t_factor)
+
+    best = None
+    for launch in ("rise", "fall"):
+        d_p = path_delay(netlist, path_nets, timing,
+                         launch_direction=launch,
+                         side_values=side_values)
+        edge = edge_at_net(netlist, path_nets, fault_net,
+                           launch_direction=launch,
+                           side_values=side_values)
+        extra_table = (calibration.extra_rise if edge == "rise"
+                       else calibration.extra_fall)
+        needed = applied - d_p - overhead
+        if needed <= 0:
+            return float(calibration.resistances[0])
+        if needed > extra_table[-1]:
+            continue
+        r_min = float(np.interp(needed, extra_table,
+                                calibration.resistances))
+        if best is None or r_min < best:
+            best = r_min
+    return best
+
+
+def df_best_r_min_for_site(netlist, net, calibration, test, timing=None,
+                           max_paths=24, max_backtracks=1500,
+                           sample=None, t_factor=1.0):
+    """DF testing's best shot at a fault site: the longest sensitizable
+    path through it (minimum slack).  Returns ``(r_min, path)`` with
+    ``r_min=None`` when every candidate escapes."""
+    from .atpg import sensitize_path
+    from .paths import paths_through
+
+    timing = GateTiming() if timing is None else timing
+    candidates = paths_through(netlist, net, max_paths=max_paths)
+    candidates.sort(key=len, reverse=True)
+    best = (None, None)
+    for path in candidates:
+        if path[-1] not in netlist.primary_outputs:
+            continue
+        if path.index(net) == 0:
+            continue
+        try:
+            sens = sensitize_path(netlist, path,
+                                  max_backtracks=max_backtracks)
+        except ValueError:
+            continue
+        if sens is None:
+            continue
+        values = netlist.evaluate(sens.vector(netlist))
+        r_min = df_minimum_detectable_resistance(
+            netlist, path, net, calibration, test, timing=timing,
+            side_values=values, sample=sample, t_factor=t_factor)
+        if r_min is not None and (best[0] is None or r_min < best[0]):
+            best = (r_min, path)
+    return best
+
+
+def slack_of_path(netlist, path_nets, test, timing=None,
+                  side_values=None, sample=None, t_factor=1.0):
+    """Applied-period slack the defect must overcome on this path."""
+    timing = GateTiming() if timing is None else timing
+    d_p = max(
+        path_delay(netlist, path_nets, timing, launch_direction=launch,
+                   side_values=side_values)
+        for launch in ("rise", "fall"))
+    overhead = test.flipflop.sampled_overhead(sample)
+    return test.applied_period(t_factor) - d_p - overhead
+
+
+def infinity_if_none(value):
+    """Utility for comparing optional R_min values."""
+    return math.inf if value is None else value

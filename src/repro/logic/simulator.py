@@ -1,0 +1,205 @@
+"""Event-driven gate-level timing simulation with inertial filtering.
+
+The single-pending-event inertial model: each net holds at most one
+scheduled future transition; scheduling an opposite value cancels it.  A
+pulse narrower than the local gate delay therefore dies inside the gate —
+which is precisely the logic-level abstraction of pulse dampening the
+paper builds on (Sec. 3: "the filtering capabilities of a path depend on
+the inertial delays of the gates in the path").
+
+Delay defects are injected as extra rise/fall delay on a net
+(:class:`NetDelayDefect`); the added *asymmetry* between edges is what
+shrinks pulses level after level.
+"""
+
+import heapq
+
+
+class GateTiming:
+    """Propagation delays per gate kind, optionally fluctuating per gate.
+
+    ``table`` maps gate kind to ``(tp_lh, tp_hl)`` seconds; kinds missing
+    from the table use ``default``.  When a ``sample`` (a Monte Carlo
+    variation model) is supplied, each gate's delays get a deterministic
+    per-gate factor from the sample's timing stream.
+    """
+
+    DEFAULT_TABLE = {
+        "not": (60e-12, 55e-12),
+        "buf": (90e-12, 85e-12),
+        "nand": (85e-12, 70e-12),
+        "nor": (110e-12, 75e-12),
+        "and": (120e-12, 105e-12),
+        "or": (140e-12, 110e-12),
+        "xor": (150e-12, 140e-12),
+        "xnor": (150e-12, 140e-12),
+    }
+
+    def __init__(self, table=None, default=(100e-12, 100e-12), sample=None):
+        self.table = dict(self.DEFAULT_TABLE if table is None else table)
+        self.default = default
+        self.sample = sample
+
+    def delays(self, gate):
+        """(tp_lh, tp_hl) for a gate instance."""
+        tp_lh, tp_hl = self.table.get(gate.kind, self.default)
+        if self.sample is not None:
+            tp_lh = tp_lh * self.sample.timing_factor(
+                "gate:{}:lh".format(gate.name))
+            tp_hl = tp_hl * self.sample.timing_factor(
+                "gate:{}:hl".format(gate.name))
+        return tp_lh, tp_hl
+
+
+class NetDelayDefect:
+    """A delay defect on one net: extra delay per output edge direction.
+
+    An internal resistive open in the pull-up maps to ``extra_rise > 0,
+    extra_fall = 0``; an external open delays both edges roughly equally.
+    """
+
+    def __init__(self, net, extra_rise=0.0, extra_fall=0.0):
+        if extra_rise < 0 or extra_fall < 0:
+            raise ValueError("defect delays must be non-negative")
+        self.net = net
+        self.extra_rise = float(extra_rise)
+        self.extra_fall = float(extra_fall)
+
+    def __repr__(self):
+        return "NetDelayDefect({}, +{:.0f}ps rise, +{:.0f}ps fall)".format(
+            self.net, self.extra_rise * 1e12, self.extra_fall * 1e12)
+
+
+class SimulationTrace:
+    """Per-net transition histories produced by a run."""
+
+    def __init__(self, initial_values, transitions, t_end):
+        self.initial_values = dict(initial_values)
+        #: {net: [(time, new_value), ...]} sorted by time
+        self.transitions = {net: list(events)
+                            for net, events in transitions.items()}
+        self.t_end = t_end
+
+    def value_at(self, net, time):
+        value = self.initial_values[net]
+        for t, v in self.transitions.get(net, []):
+            if t > time:
+                break
+            value = v
+        return value
+
+    def final_value(self, net):
+        events = self.transitions.get(net, [])
+        return events[-1][1] if events else self.initial_values[net]
+
+    def transition_times(self, net):
+        return [t for t, _ in self.transitions.get(net, [])]
+
+    def pulse_widths(self, net):
+        """Widths of complete excursions away from the initial value."""
+        widths = []
+        start = None
+        idle = self.initial_values[net]
+        for t, v in self.transitions.get(net, []):
+            if v != idle and start is None:
+                start = t
+            elif v == idle and start is not None:
+                widths.append(t - start)
+                start = None
+        return widths
+
+    def widest_pulse(self, net):
+        widths = self.pulse_widths(net)
+        return max(widths) if widths else 0.0
+
+    def last_transition(self, net):
+        events = self.transitions.get(net, [])
+        return events[-1][0] if events else None
+
+
+class TimingSimulator:
+    """Event-driven simulation of a :class:`LogicNetlist`."""
+
+    def __init__(self, netlist, timing=None, defect=None):
+        self.netlist = netlist
+        self.timing = GateTiming() if timing is None else timing
+        self.defect = defect
+        self._fanout = netlist.fanout_map()
+
+    def _gate_delay(self, gate, new_value):
+        tp_lh, tp_hl = self.timing.delays(gate)
+        delay = tp_lh if new_value == 1 else tp_hl
+        if self.defect is not None and gate.output == self.defect.net:
+            delay += (self.defect.extra_rise if new_value == 1
+                      else self.defect.extra_fall)
+        return delay
+
+    def run(self, input_values, events=(), t_end=50e-9):
+        """Simulate from a settled initial state.
+
+        Parameters
+        ----------
+        input_values:
+            Complete PI assignment (the test vector / idle state).
+        events:
+            Iterable of ``(time, net, value)`` input stimuli, e.g. the two
+            edges of an injected pulse.
+        t_end:
+            Simulation horizon.
+
+        Returns a :class:`SimulationTrace`.
+        """
+        values = self.netlist.evaluate(input_values)
+        transitions = {net: [] for net in values}
+
+        queue = []
+        sequence = 0
+        pending = {}
+
+        def push(time, net, value, token):
+            nonlocal sequence
+            heapq.heappush(queue, (time, sequence, net, value, token))
+            sequence += 1
+
+        def schedule_gate_output(gate, t_now):
+            new_value = gate.evaluate(values[i] for i in gate.inputs)
+            net = gate.output
+            t_event = t_now + self._gate_delay(gate, new_value)
+            slot = pending.get(net)
+            if slot is not None:
+                t_pending, v_pending, token = slot
+                if v_pending == new_value:
+                    return  # already heading to this value
+                # Opposite value: the pending (unmatured) transition is
+                # preempted — this is the inertial pulse swallowing.
+                token["cancelled"] = True
+                pending.pop(net, None)
+            if new_value == values[net]:
+                return
+            token = {"cancelled": False}
+            pending[net] = (t_event, new_value, token)
+            push(t_event, net, new_value, token)
+
+        for time, net, value in events:
+            if net not in self.netlist.primary_inputs:
+                raise ValueError(
+                    "stimulus on non-input net {!r}".format(net))
+            push(float(time), net, int(value), None)
+
+        while queue:
+            time, _, net, value, token = heapq.heappop(queue)
+            if time > t_end:
+                break
+            if token is not None:
+                if token["cancelled"]:
+                    continue
+                pending.pop(net, None)
+            if values[net] == value:
+                continue
+            values[net] = value
+            transitions[net].append((time, value))
+            for gate in self._fanout[net]:
+                schedule_gate_output(gate, time)
+
+        initial = self.netlist.evaluate(input_values)
+        return SimulationTrace(initial, transitions, t_end)

@@ -1,0 +1,12 @@
+"""Monte Carlo parameter-fluctuation sampling and execution."""
+
+from .engine import MonteCarloResult, run_population
+from .sampling import (GLOBAL_FIELDS, NominalModel, VariationModel,
+                       sample_population)
+from .statistics import coverage_fraction, summarize, wilson_interval
+
+__all__ = [
+    "VariationModel", "NominalModel", "sample_population", "GLOBAL_FIELDS",
+    "run_population", "MonteCarloResult",
+    "coverage_fraction", "summarize", "wilson_interval",
+]

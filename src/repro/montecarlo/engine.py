@@ -1,0 +1,69 @@
+"""Monte Carlo execution engine.
+
+Deliberately simple: a worker function is applied to every
+:class:`~repro.montecarlo.sampling.VariationModel` in a population.
+Failures can either propagate or be collected, and a progress callback
+keeps long electrical sweeps observable.
+"""
+
+
+class MonteCarloResult:
+    """Results of a population run, aligned with the sample list."""
+
+    def __init__(self, samples, values, errors):
+        self.samples = list(samples)
+        self.values = list(values)
+        #: ``{index: exception}`` for failed samples (collect_errors mode)
+        self.errors = dict(errors)
+
+    def __len__(self):
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def ok_values(self):
+        """Values from samples that completed without error."""
+        return [v for i, v in enumerate(self.values)
+                if i not in self.errors]
+
+    @property
+    def n_failed(self):
+        return len(self.errors)
+
+
+def run_population(worker, samples, progress=None, collect_errors=False):
+    """Apply ``worker(sample)`` to every sample.
+
+    Parameters
+    ----------
+    worker:
+        Callable taking a variation model and returning any value.
+    samples:
+        Iterable of variation models.
+    progress:
+        Optional callable ``(index, total, sample)`` invoked before each
+        evaluation.
+    collect_errors:
+        When True, exceptions are recorded per-sample (value ``None``)
+        instead of aborting the sweep.
+    """
+    samples = list(samples)
+    values = []
+    errors = {}
+    total = len(samples)
+    for index, sample in enumerate(samples):
+        if progress is not None:
+            progress(index, total, sample)
+        if collect_errors:
+            try:
+                values.append(worker(sample))
+            except Exception as exc:  # noqa: BLE001 - reported to caller
+                values.append(None)
+                errors[index] = exc
+        else:
+            values.append(worker(sample))
+    return MonteCarloResult(samples, values, errors)

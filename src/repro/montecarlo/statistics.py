@@ -1,0 +1,51 @@
+"""Small statistics helpers used by the coverage experiments."""
+
+import math
+
+import numpy as np
+
+
+def coverage_fraction(values, predicate):
+    """Fraction of ``values`` satisfying ``predicate`` (the paper's C_del /
+    C_pulse definition: fraction of IC instances flagged by the test)."""
+    values = list(values)
+    if not values:
+        raise ValueError("coverage of an empty population is undefined")
+    hits = sum(1 for v in values if predicate(v))
+    return hits / len(values)
+
+
+def summarize(values):
+    """Mean / std / min / max / quartiles of a numeric sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "q25": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "q75": float(np.percentile(arr, 75)),
+    }
+
+
+def wilson_interval(hits, total, z=1.96):
+    """Wilson score interval for a coverage fraction.
+
+    Coverage curves from modest MC populations need error bars; the Wilson
+    interval behaves sanely at 0 and 1 where the normal approximation
+    collapses.
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0 <= hits <= total:
+        raise ValueError("hits must lie in [0, total]")
+    p = hits / total
+    denom = 1.0 + z * z / total
+    centre = (p + z * z / (2 * total)) / denom
+    half = (z * math.sqrt(p * (1 - p) / total
+                          + z * z / (4 * total * total))) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)

@@ -1,0 +1,12 @@
+"""Plain-text reporting for the benchmark harness."""
+
+from .ascii_plot import ascii_plot
+from .io import (campaign_to_json, coverage_result_to_dict,
+                 coverage_result_to_json, load_json,
+                 transfer_curve_to_csv, waveform_to_csv)
+from .tables import coverage_table, format_series, format_table
+
+__all__ = ["format_table", "format_series", "coverage_table", "ascii_plot",
+           "waveform_to_csv", "transfer_curve_to_csv",
+           "coverage_result_to_dict", "coverage_result_to_json",
+           "campaign_to_json", "load_json"]

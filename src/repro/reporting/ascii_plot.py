@@ -1,0 +1,47 @@
+"""Minimal ASCII line plots for terminal inspection of figure shapes."""
+
+
+def ascii_plot(series, width=64, height=16, x_label="", y_label=""):
+    """Plot ``{label: (xs, ys)}`` on a shared-axis character canvas.
+
+    Intended for eyeballing coverage curves and transfer functions in the
+    bench output, not for publication.
+    """
+    points = []
+    for xs, ys in series.values():
+        points.extend(zip(xs, ys))
+    if not points:
+        raise ValueError("nothing to plot")
+    x_min = min(p[0] for p in points)
+    x_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        mark = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            canvas[height - 1 - row][col] = mark
+
+    lines = []
+    lines.append("{:>10} +{}".format("{:.3g}".format(y_max),
+                                     "".join(canvas[0])))
+    for row in canvas[1:-1]:
+        lines.append("{:>10} |{}".format("", "".join(row)))
+    lines.append("{:>10} +{}".format("{:.3g}".format(y_min),
+                                     "".join(canvas[-1])))
+    lines.append("{:>11}{:<32}{:>32}".format(
+        "", "{:.3g}".format(x_min), "{:.3g}".format(x_max)))
+    legend = "   ".join("{} {}".format(markers[i % len(markers)], label)
+                        for i, label in enumerate(series))
+    lines.append("  legend: " + legend)
+    if x_label or y_label:
+        lines.append("  x: {}   y: {}".format(x_label, y_label))
+    return "\n".join(lines)

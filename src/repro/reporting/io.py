@@ -1,0 +1,81 @@
+"""CSV / JSON export of experiment artefacts.
+
+Downstream users re-plot the figures with their own tooling; these
+helpers serialise waveforms, transfer curves and coverage results in
+plain formats (no extra dependencies).
+"""
+
+import csv
+import json
+
+
+def waveform_to_csv(waveform, path, nodes=None):
+    """Write a waveform as a ``time,node1,node2,...`` CSV file."""
+    nodes = waveform.nodes() if nodes is None else list(nodes)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + nodes)
+        for i, t in enumerate(waveform.t):
+            writer.writerow([repr(float(t))]
+                            + [repr(float(waveform[n][i]))
+                               for n in nodes])
+    return path
+
+
+def transfer_curve_to_csv(curve, path):
+    """Write a transfer curve as ``w_in,w_out`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["w_in", "w_out"])
+        for w_in, w_out in zip(curve.w_in, curve.w_out):
+            writer.writerow([repr(float(w_in)), repr(float(w_out))])
+    return path
+
+
+def coverage_result_to_dict(result):
+    """JSON-ready dict of a :class:`~repro.core.CoverageResult`."""
+    return {
+        "resistances": [float(r) for r in result.resistances],
+        "curves": {
+            label: [float(c) for c in result.curve(label).coverage]
+            for label in result.labels()
+        },
+        "n_samples": {
+            label: result.curve(label).n_samples
+            for label in result.labels()
+        },
+    }
+
+
+def coverage_result_to_json(result, path):
+    """Write a coverage result as a JSON document."""
+    with open(path, "w") as handle:
+        json.dump(coverage_result_to_dict(result), handle, indent=2)
+    return path
+
+
+def campaign_to_json(campaign, path):
+    """Write a logic-level campaign result as JSON."""
+    payload = {
+        "summary": campaign.summary(),
+        "sites": [
+            {
+                "net": site.net,
+                "status": site.status,
+                "path": site.path,
+                "omega_in": site.omega_in,
+                "omega_th": site.omega_th,
+                "r_min": site.r_min,
+            }
+            for site in campaign.sites
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path
+
+
+def load_json(path):
+    """Read back any JSON artefact written by this module."""
+    with open(path) as handle:
+        return json.load(handle)

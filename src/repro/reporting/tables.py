@@ -1,0 +1,45 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and terminal-friendly.
+"""
+
+
+def format_table(headers, rows, precision=3):
+    """Fixed-width table; floats rendered with ``precision`` digits."""
+    def fmt(value):
+        if isinstance(value, float):
+            return "{:.{p}g}".format(value, p=precision + 2)
+        return str(value)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y", x_scale=1.0,
+                  y_scale=1.0, precision=4):
+    """One figure series as labelled columns."""
+    rows = [(x * x_scale, y * y_scale) for x, y in zip(xs, ys)]
+    return "{}\n{}".format(
+        name, format_table([x_label, y_label], rows, precision=precision))
+
+
+def coverage_table(result, x_label="R (ohm)"):
+    """Tabulate a :class:`~repro.core.CoverageResult` like a paper figure:
+    one row per resistance, one column per test-parameter setting."""
+    labels = result.labels()
+    headers = [x_label] + labels
+    rows = []
+    for i, r in enumerate(result.resistances):
+        rows.append([r] + [result.curve(label).coverage[i]
+                           for label in labels])
+    return format_table(headers, rows)

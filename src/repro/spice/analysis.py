@@ -1,0 +1,7 @@
+"""Top-level analysis entry points re-exported by :mod:`repro.spice`."""
+
+from .dcop import operating_point
+from .transient import BACKWARD_EULER, TRAPEZOIDAL, run_transient
+
+__all__ = ["operating_point", "run_transient",
+           "BACKWARD_EULER", "TRAPEZOIDAL"]

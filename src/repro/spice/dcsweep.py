@@ -1,0 +1,84 @@
+"""DC sweep analysis.
+
+Sweeps one independent source over a list of values, solving the
+operating point at each step with warm starts — the workhorse for
+voltage-transfer characteristics and for locating the bridging critical
+resistance (where a contended node crosses the downstream switching
+threshold).
+"""
+
+import numpy as np
+
+from .dcop import solve_dc
+from .elements import VoltageSource, CurrentSource
+from .errors import AnalysisError
+from .mna import CompiledCircuit
+from .sources import Dc
+
+
+class SweepResult:
+    """Per-node arrays over the swept values."""
+
+    def __init__(self, values, signals):
+        self.values = np.asarray(values, dtype=float)
+        self.signals = {name: np.asarray(v, dtype=float)
+                        for name, v in signals.items()}
+
+    def __getitem__(self, node):
+        try:
+            return self.signals[node]
+        except KeyError:
+            raise AnalysisError("no recorded node {!r}".format(node))
+
+    def nodes(self):
+        return sorted(self.signals)
+
+    def crossing(self, node, level):
+        """First swept value where ``node`` crosses ``level``
+        (linear interpolation); None if it never does."""
+        v = self[node]
+        above = v > level
+        change = np.nonzero(above[1:] != above[:-1])[0]
+        if len(change) == 0:
+            return None
+        i = change[0]
+        frac = (level - v[i]) / (v[i + 1] - v[i])
+        return float(self.values[i]
+                     + frac * (self.values[i + 1] - self.values[i]))
+
+    def __repr__(self):
+        return "SweepResult({} points, nodes={})".format(
+            len(self.values), self.nodes())
+
+
+def dc_sweep(circuit, source_name, values, record=None, gmin=1e-12):
+    """Sweep ``source_name`` over ``values``; returns a SweepResult.
+
+    The source's stimulus is restored afterwards.  ``record=None`` keeps
+    every node.
+    """
+    source = circuit.element(source_name)
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise AnalysisError(
+            "{!r} is not an independent source".format(source_name))
+    values = [float(v) for v in values]
+    if not values:
+        raise AnalysisError("sweep needs at least one value")
+
+    original = source.stimulus
+    try:
+        compiled = CompiledCircuit(circuit)
+        nodes = compiled.node_order if record is None else list(record)
+        signals = {node: [] for node in nodes}
+        x = None
+        for value in values:
+            source.stimulus = Dc(value)
+            # stimulus change requires re-reading source values only;
+            # the compiled structure is still valid
+            x = solve_dc(compiled, t=0.0, x0=x, gmin=gmin)
+            for node in nodes:
+                idx = compiled.index_of(node)
+                signals[node].append(0.0 if idx < 0 else float(x[idx]))
+        return SweepResult(values, signals)
+    finally:
+        source.stimulus = original

@@ -1,0 +1,111 @@
+"""Circuit elements.
+
+Elements are *symbolic*: they reference nodes by name.  The MNA compiler
+(:mod:`repro.spice.mna`) resolves names to matrix indices when an analysis is
+run, so elements can be rewired freely beforehand — this is what the fault
+injectors in :mod:`repro.faults` rely on.
+"""
+
+from .errors import NetlistError
+from .sources import make_stimulus
+
+
+class Element:
+    """Base class for all circuit elements.
+
+    Terminals are stored in ``self.terminals``, an ordered mapping from
+    terminal label (e.g. ``"p"``/``"n"`` or ``"d"``/``"g"``/``"s"``/``"b"``)
+    to node name.
+    """
+
+    #: ordered terminal labels, overridden by subclasses
+    TERMINALS = ()
+
+    def __init__(self, name, *nodes):
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        if len(nodes) != len(self.TERMINALS):
+            raise NetlistError(
+                "{} expects {} terminals, got {}".format(
+                    type(self).__name__, len(self.TERMINALS), len(nodes)))
+        self.name = str(name)
+        self.terminals = {label: str(node)
+                          for label, node in zip(self.TERMINALS, nodes)}
+
+    def nodes(self):
+        """Node names this element touches, in terminal order."""
+        return [self.terminals[label] for label in self.TERMINALS]
+
+    def node(self, label):
+        return self.terminals[label]
+
+    def rewire(self, label, new_node):
+        """Reconnect terminal ``label`` to ``new_node``."""
+        if label not in self.terminals:
+            raise NetlistError(
+                "{} has no terminal {!r}".format(self.name, label))
+        self.terminals[label] = str(new_node)
+
+    def rewire_node(self, old_node, new_node):
+        """Reconnect every terminal currently on ``old_node``."""
+        hits = 0
+        for label, node in self.terminals.items():
+            if node == old_node:
+                self.terminals[label] = str(new_node)
+                hits += 1
+        return hits
+
+    def __repr__(self):
+        pins = ", ".join("{}={}".format(k, v)
+                         for k, v in self.terminals.items())
+        return "{}({}, {})".format(type(self).__name__, self.name, pins)
+
+
+class TwoTerminal(Element):
+    TERMINALS = ("p", "n")
+
+
+class Resistor(TwoTerminal):
+    """Linear resistor.  ``resistance`` must be positive."""
+
+    def __init__(self, name, p, n, resistance):
+        super().__init__(name, p, n)
+        resistance = float(resistance)
+        if resistance <= 0.0:
+            raise NetlistError(
+                "resistor {} needs positive resistance, got {:g}".format(
+                    name, resistance))
+        self.resistance = resistance
+
+    @property
+    def conductance(self):
+        return 1.0 / self.resistance
+
+
+class Capacitor(TwoTerminal):
+    """Linear capacitor with optional initial condition (volts across p-n)."""
+
+    def __init__(self, name, p, n, capacitance, ic=None):
+        super().__init__(name, p, n)
+        capacitance = float(capacitance)
+        if capacitance < 0.0:
+            raise NetlistError(
+                "capacitor {} needs non-negative capacitance".format(name))
+        self.capacitance = capacitance
+        self.ic = None if ic is None else float(ic)
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source; ``stimulus`` is a number or a Stimulus."""
+
+    def __init__(self, name, p, n, stimulus):
+        super().__init__(name, p, n)
+        self.stimulus = make_stimulus(stimulus)
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source; positive current flows p -> n inside."""
+
+    def __init__(self, name, p, n, stimulus):
+        super().__init__(name, p, n)
+        self.stimulus = make_stimulus(stimulus)

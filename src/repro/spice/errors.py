@@ -1,0 +1,31 @@
+"""Exception types for the electrical simulator."""
+
+
+class SpiceError(Exception):
+    """Base class for all errors raised by :mod:`repro.spice`."""
+
+
+class NetlistError(SpiceError):
+    """The circuit description is malformed (duplicate names, bad nodes...)."""
+
+
+class ConvergenceError(SpiceError):
+    """Newton-Raphson failed to converge.
+
+    Carries the analysis context so callers can report which time point or
+    gmin step failed.
+    """
+
+    def __init__(self, message, iterations=None, residual=None, time=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.time = time
+
+
+class AnalysisError(SpiceError):
+    """An analysis was requested with invalid arguments."""
+
+
+class MeasurementError(SpiceError):
+    """A waveform measurement could not be computed (e.g. no crossing)."""

@@ -1,0 +1,199 @@
+"""Symbolic circuit container.
+
+A :class:`Circuit` is a named bag of elements referencing nodes by name.
+Nothing is resolved to matrix indices until an analysis compiles it, so
+callers (cell builders, fault injectors) can freely add, remove and rewire
+elements.
+"""
+
+from .elements import (Capacitor, CurrentSource, Element, Resistor,
+                       VoltageSource)
+from .errors import NetlistError
+from .mosfet import Mosfet, MosfetParams, NMOS, PMOS
+
+#: node names treated as the reference (ground) node
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+def is_ground(node):
+    """True if ``node`` names the reference node."""
+    return node in GROUND_NAMES
+
+
+class Circuit:
+    """A mutable, symbolic circuit netlist."""
+
+    def __init__(self, title=""):
+        self.title = title
+        self._elements = {}
+        self._auto_node = 0
+
+    # ------------------------------------------------------------------
+    # Element management
+    # ------------------------------------------------------------------
+
+    def add(self, element):
+        """Add an element; names must be unique within the circuit."""
+        if not isinstance(element, Element):
+            raise NetlistError("can only add Element instances")
+        if element.name in self._elements:
+            raise NetlistError(
+                "duplicate element name {!r}".format(element.name))
+        self._elements[element.name] = element
+        return element
+
+    def remove(self, name):
+        """Remove and return the element called ``name``."""
+        try:
+            return self._elements.pop(name)
+        except KeyError:
+            raise NetlistError("no element named {!r}".format(name))
+
+    def element(self, name):
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError("no element named {!r}".format(name))
+
+    def __contains__(self, name):
+        return name in self._elements
+
+    def __len__(self):
+        return len(self._elements)
+
+    def elements(self, kind=None):
+        """All elements, optionally filtered by class."""
+        if kind is None:
+            return list(self._elements.values())
+        return [e for e in self._elements.values() if isinstance(e, kind)]
+
+    def nodes(self):
+        """Sorted list of non-ground node names in use."""
+        seen = set()
+        for element in self._elements.values():
+            for node in element.nodes():
+                if not is_ground(node):
+                    seen.add(node)
+        return sorted(seen)
+
+    def new_node(self, prefix="n"):
+        """A node name guaranteed not to collide with existing ones."""
+        existing = set()
+        for element in self._elements.values():
+            existing.update(element.nodes())
+        while True:
+            self._auto_node += 1
+            candidate = "{}${}".format(prefix, self._auto_node)
+            if candidate not in existing:
+                return candidate
+
+    def new_name(self, prefix):
+        """An element name guaranteed to be unused."""
+        i = 1
+        while True:
+            candidate = "{}${}".format(prefix, i)
+            if candidate not in self._elements:
+                return candidate
+            i += 1
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    def add_resistor(self, name, p, n, resistance):
+        return self.add(Resistor(name, p, n, resistance))
+
+    def add_capacitor(self, name, p, n, capacitance, ic=None):
+        return self.add(Capacitor(name, p, n, capacitance, ic=ic))
+
+    def add_vsource(self, name, p, n, stimulus):
+        return self.add(VoltageSource(name, p, n, stimulus))
+
+    def add_isource(self, name, p, n, stimulus):
+        return self.add(CurrentSource(name, p, n, stimulus))
+
+    def add_nmos(self, name, d, g, s, b, width, length, params):
+        return self.add(Mosfet(name, d, g, s, b, NMOS, width, length, params))
+
+    def add_pmos(self, name, d, g, s, b, width, length, params):
+        return self.add(Mosfet(name, d, g, s, b, PMOS, width, length, params))
+
+    # ------------------------------------------------------------------
+    # Structural edits used by fault injection
+    # ------------------------------------------------------------------
+
+    def insert_series_resistor(self, element_name, terminal, resistance,
+                               res_name=None):
+        """Break ``terminal`` of an element and insert a resistor in series.
+
+        Returns the new :class:`Resistor`.  This is the primitive used to
+        model *internal* resistive opens (a partially broken source/drain
+        contact inside a cell).
+        """
+        element = self.element(element_name)
+        old_node = element.node(terminal)
+        new_node = self.new_node("rop")
+        element.rewire(terminal, new_node)
+        if res_name is None:
+            res_name = self.new_name("R_{}_{}".format(element_name, terminal))
+        return self.add_resistor(res_name, old_node, new_node, resistance)
+
+    def split_net(self, net, sink_terminals, resistance, res_name=None):
+        """Insert a resistor between ``net`` and selected sink terminals.
+
+        ``sink_terminals`` is an iterable of ``(element_name, terminal)``
+        pairs; those terminals are moved onto a fresh node connected to the
+        original net through ``resistance``.  This models an *external*
+        resistive open on an interconnect / fan-out branch.
+        """
+        sinks = list(sink_terminals)
+        if not sinks:
+            raise NetlistError("split_net needs at least one sink terminal")
+        new_node = self.new_node("{}_rop".format(net))
+        for element_name, terminal in sinks:
+            element = self.element(element_name)
+            if element.node(terminal) != net:
+                raise NetlistError(
+                    "{}:{} is not connected to net {!r}".format(
+                        element_name, terminal, net))
+            element.rewire(terminal, new_node)
+        if res_name is None:
+            res_name = self.new_name("R_open_{}".format(net))
+        self.add_resistor(res_name, net, new_node, resistance)
+        return new_node
+
+    def add_bridge(self, net_a, net_b, resistance, res_name=None):
+        """Connect two nets with a bridging resistor and return it."""
+        if res_name is None:
+            res_name = self.new_name("R_bridge_{}_{}".format(net_a, net_b))
+        return self.add_resistor(res_name, net_a, net_b, resistance)
+
+    # ------------------------------------------------------------------
+
+    def copy(self):
+        """Deep-enough copy: new element objects, shared immutable params."""
+        import copy as _copy
+        clone = Circuit(self.title)
+        clone._auto_node = self._auto_node
+        for element in self._elements.values():
+            clone._elements[element.name] = _copy.copy(element)
+            clone._elements[element.name].terminals = dict(element.terminals)
+        return clone
+
+    def summary(self):
+        """Human-readable one-line-per-element dump (for debugging)."""
+        lines = ["* {}".format(self.title or "untitled circuit")]
+        for element in self._elements.values():
+            lines.append(repr(element))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Circuit({!r}, {} elements, {} nodes)".format(
+            self.title, len(self._elements), len(self.nodes()))
+
+
+__all__ = [
+    "Circuit", "GROUND_NAMES", "is_ground",
+    "Resistor", "Capacitor", "VoltageSource", "CurrentSource",
+    "Mosfet", "MosfetParams", "NMOS", "PMOS",
+]

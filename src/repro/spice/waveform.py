@@ -1,0 +1,195 @@
+"""Waveform container and the measurements the paper's metrics rest on.
+
+Everything the evaluation needs is a waveform measurement:
+
+* propagation delay ``d_p`` (50 % crossing to 50 % crossing),
+* pulse width at ``0.5 * VDD`` (paper: "measured, for instance, at 5V DD"),
+* transition (slew) times,
+* pulse survival (amplitude of the widest excursion past a level).
+"""
+
+import numpy as np
+
+from .errors import MeasurementError
+
+
+class Waveform:
+    """Time series for a set of nodes."""
+
+    def __init__(self, t, signals):
+        self.t = np.asarray(t, dtype=float)
+        self.signals = {name: np.asarray(v, dtype=float)
+                        for name, v in signals.items()}
+        for name, v in self.signals.items():
+            if v.shape != self.t.shape:
+                raise MeasurementError(
+                    "signal {!r} length differs from time base".format(name))
+
+    def __getitem__(self, node):
+        try:
+            return self.signals[node]
+        except KeyError:
+            raise MeasurementError("no recorded signal {!r}".format(node))
+
+    def __contains__(self, node):
+        return node in self.signals
+
+    def nodes(self):
+        return sorted(self.signals)
+
+    def value_at(self, node, time):
+        """Linear interpolation of ``node`` at ``time``."""
+        return float(np.interp(time, self.t, self[node]))
+
+    # ------------------------------------------------------------------
+    # Crossings
+    # ------------------------------------------------------------------
+
+    def crossing_times(self, node, level, direction=None):
+        """Times where ``node`` crosses ``level``.
+
+        ``direction`` may be ``"rise"``, ``"fall"`` or ``None`` (both).
+        Crossing times are linearly interpolated.
+        """
+        v = self[node]
+        above = v > level
+        change = np.nonzero(above[1:] != above[:-1])[0]
+        times = []
+        for i in change:
+            rising = above[i + 1]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            v0, v1 = v[i], v[i + 1]
+            t0, t1 = self.t[i], self.t[i + 1]
+            frac = (level - v0) / (v1 - v0)
+            times.append(t0 + frac * (t1 - t0))
+        return np.array(times)
+
+    def first_crossing(self, node, level, direction=None, after=None):
+        times = self.crossing_times(node, level, direction)
+        if after is not None:
+            times = times[times >= after]
+        if len(times) == 0:
+            return None
+        return float(times[0])
+
+    # ------------------------------------------------------------------
+    # Pulses
+    # ------------------------------------------------------------------
+
+    def pulse_intervals(self, node, level, polarity="high"):
+        """Intervals during which the signal excurses past ``level``.
+
+        ``polarity="high"`` finds intervals with ``v > level``;
+        ``polarity="low"`` finds ``v < level``.  Returns a list of
+        ``(t_start, t_end)``; intervals clipped by the simulation window
+        use the window edge.
+        """
+        v = self[node]
+        if polarity == "high":
+            active = v > level
+        elif polarity == "low":
+            active = v < level
+        else:
+            raise MeasurementError("polarity must be 'high' or 'low'")
+
+        intervals = []
+        start = self.t[0] if active[0] else None
+        for i in range(len(v) - 1):
+            if active[i + 1] and not active[i]:
+                v0, v1 = v[i], v[i + 1]
+                frac = (level - v0) / (v1 - v0)
+                start = self.t[i] + frac * (self.t[i + 1] - self.t[i])
+            elif active[i] and not active[i + 1]:
+                v0, v1 = v[i], v[i + 1]
+                frac = (level - v0) / (v1 - v0)
+                end = self.t[i] + frac * (self.t[i + 1] - self.t[i])
+                intervals.append((start, end))
+                start = None
+        if start is not None:
+            intervals.append((start, float(self.t[-1])))
+        return intervals
+
+    def pulse_widths(self, node, level, polarity="high"):
+        """Widths of every excursion past ``level`` (see pulse_intervals)."""
+        return [end - start
+                for start, end in self.pulse_intervals(node, level, polarity)]
+
+    def widest_pulse(self, node, level, polarity="high"):
+        """Width of the widest excursion past ``level``; 0.0 if none.
+
+        This is the paper's ``w_out``: the output pulse width measured at
+        ``0.5 * VDD``.  A fully dampened pulse never crosses the level and
+        yields 0.0.
+        """
+        widths = self.pulse_widths(node, level, polarity)
+        return max(widths) if widths else 0.0
+
+    # ------------------------------------------------------------------
+    # Delay / slew
+    # ------------------------------------------------------------------
+
+    def propagation_delay(self, node_in, node_out, level,
+                          in_direction=None, out_direction=None,
+                          in_occurrence=0, after=0.0):
+        """50 %-to-50 % delay between an input and an output transition.
+
+        Measures from the ``in_occurrence``-th crossing of ``node_in``
+        (optionally restricted to a direction) to the first subsequent
+        crossing of ``node_out``.  Returns None if either edge is missing
+        (e.g. the output never switched — the DF-testing "late/never"
+        case is handled by the caller).
+        """
+        t_in = self.crossing_times(node_in, level, in_direction)
+        t_in = t_in[t_in >= after]
+        if len(t_in) <= in_occurrence:
+            return None
+        t0 = t_in[in_occurrence]
+        t_out = self.first_crossing(node_out, level, out_direction, after=t0)
+        if t_out is None:
+            return None
+        return t_out - t0
+
+    def transition_time(self, node, v_low, v_high, rising=True, after=0.0):
+        """Slew between the ``v_low`` and ``v_high`` levels (e.g. 10/90 %)."""
+        if rising:
+            t_start = self.first_crossing(node, v_low, "rise", after=after)
+            if t_start is None:
+                return None
+            t_end = self.first_crossing(node, v_high, "rise", after=t_start)
+        else:
+            t_start = self.first_crossing(node, v_high, "fall", after=after)
+            if t_start is None:
+                return None
+            t_end = self.first_crossing(node, v_low, "fall", after=t_start)
+        if t_end is None:
+            return None
+        return t_end - t_start
+
+    def oscillation_count(self, node, level, after=0.0):
+        """Number of level crossings after ``after`` — the oscillation
+        indicator for feedback-bridging diagnosis (Sec. 2: low-R bridges
+        closing inverting loops may oscillate)."""
+        times = self.crossing_times(node, level)
+        return int((times >= after).sum())
+
+    def is_oscillating(self, node, level, after=0.0, min_crossings=4):
+        """True when the node keeps crossing ``level`` past ``after``."""
+        return self.oscillation_count(node, level, after) >= min_crossings
+
+    def peak_excursion(self, node, baseline):
+        """Largest |v - baseline| over the window (pulse amplitude)."""
+        v = self[node]
+        return float(np.abs(v - baseline).max())
+
+    def window(self, t_start, t_end):
+        """Sub-waveform restricted to ``[t_start, t_end]``."""
+        mask = np.logical_and(self.t >= t_start, self.t <= t_end)
+        return Waveform(self.t[mask],
+                        {k: v[mask] for k, v in self.signals.items()})
+
+    def __repr__(self):
+        return "Waveform({} points, nodes={})".format(
+            len(self.t), self.nodes())

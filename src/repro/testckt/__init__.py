@@ -1,0 +1,22 @@
+"""On-chip test circuitry at the transistor level.
+
+The paper's Sec. 3 testing environment: locally generated input pulses
+(edge-to-pulse generator built on an inverter delay line) and locally
+sensed output transitions (Metra-style XOR + precharged-flag detector).
+Because both are built from the same devices as the circuit under test,
+their timing fluctuates *with* the local process corner — the root of
+the method's immunity to clock-distribution uncertainty.
+"""
+
+from .bench import OnChipTestBench, build_onchip_test, run_onchip_test
+from .delay_line import DelayLineInstance, build_delay_line
+from .detector import TransitionDetectorInstance, build_transition_detector
+from .pulse_generator import (PulseGeneratorInstance, build_pulse_generator,
+                              trigger_stimulus)
+
+__all__ = [
+    "DelayLineInstance", "build_delay_line",
+    "PulseGeneratorInstance", "build_pulse_generator", "trigger_stimulus",
+    "TransitionDetectorInstance", "build_transition_detector",
+    "OnChipTestBench", "build_onchip_test", "run_onchip_test",
+]

@@ -1,0 +1,57 @@
+"""Inverter-chain delay lines (the timing element of the test circuitry).
+
+Both the pulse generator and the transition detector derive their timing
+from a local inverter chain — which is exactly why the paper's test
+parameters (ω_in, ω_th) track the *local* process corner instead of the
+global clock distribution network: the delay line and the circuit under
+test fluctuate together.
+"""
+
+from ..cells.library import build_inverter, unit_device_factors
+
+
+class DelayLineInstance:
+    """Structural record of a placed delay line."""
+
+    def __init__(self, name, input_node, output_node, cells, inverting):
+        self.name = name
+        self.input_node = input_node
+        self.output_node = output_node
+        self.cells = list(cells)
+        #: True when the line has an odd number of stages
+        self.inverting = inverting
+
+    @property
+    def n_stages(self):
+        return len(self.cells)
+
+    def nominal_delay(self, per_stage=110e-12):
+        """Rough design-time estimate of the line delay."""
+        return self.n_stages * per_stage
+
+    def __repr__(self):
+        return "DelayLineInstance({}, {} stages{})".format(
+            self.name, self.n_stages,
+            ", inverting" if self.inverting else "")
+
+
+def build_delay_line(circuit, name, input_node, output_node, tech,
+                     n_stages, device_factors=unit_device_factors,
+                     strength=1.0, vdd="vdd"):
+    """Chain ``n_stages`` inverters from ``input_node`` to
+    ``output_node``.  Odd stage counts invert the signal."""
+    if n_stages < 1:
+        raise ValueError("a delay line needs at least one stage")
+    cells = []
+    previous = input_node
+    for i in range(n_stages):
+        out = output_node if i == n_stages - 1 else (
+            "{}:d{}".format(name, i))
+        cell = build_inverter(circuit, "{}_i{}".format(name, i),
+                              previous, out, tech, vdd=vdd,
+                              device_factors=device_factors,
+                              strength=strength)
+        cells.append(cell)
+        previous = out
+    return DelayLineInstance(name, input_node, output_node, cells,
+                             inverting=bool(n_stages % 2))

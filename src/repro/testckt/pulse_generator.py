@@ -1,0 +1,86 @@
+"""On-chip pulse generator (transistor level).
+
+The classic edge-to-pulse circuit the paper alludes to ("our method
+exploits well known circuits for the generation of input pulses"):
+
+    out = AND(x, delay_line(x))        with an ODD (inverting) line
+
+On a rising edge of the trigger ``x`` the AND sees both inputs high for
+one delay-line transit time, producing a high pulse of width ~= the line
+delay.  The generated width therefore scales with the *local* process
+corner — the property that frees the method from clock-distribution
+uncertainty.
+"""
+
+from ..cells.library import (build_inverter, build_nand,
+                             unit_device_factors)
+from ..spice import Pulse
+from .delay_line import build_delay_line
+
+
+class PulseGeneratorInstance:
+    """A placed pulse generator."""
+
+    def __init__(self, name, trigger_node, output_node, delay_line,
+                 cells, kind="h"):
+        self.name = name
+        self.trigger_node = trigger_node
+        self.output_node = output_node
+        self.delay_line = delay_line
+        self.cells = list(cells)
+        #: 'h': output idles low, pulses high; 'l': the dual
+        self.kind = kind
+
+    @property
+    def n_stages(self):
+        return self.delay_line.n_stages
+
+    def nominal_width(self, per_stage=110e-12):
+        """Design-time estimate of the generated pulse width."""
+        return self.delay_line.nominal_delay(per_stage)
+
+    def __repr__(self):
+        return "PulseGeneratorInstance({}, {} delay stages)".format(
+            self.name, self.n_stages)
+
+
+def build_pulse_generator(circuit, name, trigger_node, output_node, tech,
+                          n_stages=5, kind="h",
+                          device_factors=unit_device_factors, vdd="vdd"):
+    """Place the generator; ``n_stages`` must be odd (inverting line).
+
+    ``kind='h'`` produces a high-going pulse (AND = NAND + inverter);
+    ``kind='l'`` stops at the NAND so the output idles high and pulses
+    low — the two injected-pulse kinds of Sec. 4.
+    """
+    if n_stages % 2 == 0:
+        raise ValueError("the delay line must be inverting (odd stages)")
+    if kind not in ("h", "l"):
+        raise ValueError("kind must be 'h' or 'l'")
+    delayed = "{}:xd".format(name)
+    line = build_delay_line(circuit, "{}_dl".format(name), trigger_node,
+                            delayed, tech, n_stages,
+                            device_factors=device_factors, vdd=vdd)
+    cells = list(line.cells)
+    if kind == "h":
+        nand_out = "{}:nand".format(name)
+        cells.append(build_nand(
+            circuit, "{}_nd".format(name), [trigger_node, delayed],
+            nand_out, tech, vdd=vdd, device_factors=device_factors,
+            strength=1.5))
+        cells.append(build_inverter(
+            circuit, "{}_out".format(name), nand_out, output_node, tech,
+            vdd=vdd, device_factors=device_factors, strength=2.0))
+    else:
+        cells.append(build_nand(
+            circuit, "{}_out".format(name), [trigger_node, delayed],
+            output_node, tech, vdd=vdd, device_factors=device_factors,
+            strength=2.0))
+    return PulseGeneratorInstance(name, trigger_node, output_node, line,
+                                  cells, kind=kind)
+
+
+def trigger_stimulus(tech, at=0.5e-9, edge=None):
+    """A single rising edge driving the generator's trigger input."""
+    edge = tech.edge_time if edge is None else edge
+    return Pulse(0.0, tech.vdd, delay=at, rise=edge, width=1.0, fall=edge)

@@ -1,0 +1,85 @@
+"""Bus-line structure tests."""
+
+import pytest
+
+from repro.cells import build_bus_line, inject_wire_open
+from repro.spice import operating_point, run_transient
+from repro.spice.errors import NetlistError
+
+DT = 5e-12
+
+
+@pytest.fixture()
+def bus():
+    return build_bus_line(n_segments=6)
+
+
+def wout(bus_circuit, w_in=0.42e-9):
+    bus_circuit.set_input_pulse(w_in, kind="h")
+    wf = run_transient(bus_circuit.circuit, 5e-9, DT,
+                       record=[bus_circuit.output_node])
+    return wf.widest_pulse(bus_circuit.output_node,
+                           bus_circuit.tech.vdd_half, "high")
+
+
+class TestStructure:
+    def test_segment_count(self, bus):
+        assert bus.n_segments == 6
+        assert len(bus.wire_nodes) == 7
+
+    def test_wire_rc_totals(self, bus):
+        total_r = sum(bus.circuit.element("rw{}".format(i)).resistance
+                      for i in range(1, 7))
+        assert total_r == pytest.approx(600.0)
+        total_c = sum(bus.circuit.element("cw{}".format(i)).capacitance
+                      for i in range(0, 7))
+        assert total_c == pytest.approx(180e-15)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(NetlistError):
+            build_bus_line(n_segments=0)
+
+    def test_dc_levels(self, bus):
+        op = operating_point(bus.circuit)
+        # input 0 -> driver output 1 -> receiver output 0
+        assert op["w0"] == pytest.approx(bus.tech.vdd, abs=0.05)
+        assert op["bus_out"] == pytest.approx(0.0, abs=0.05)
+
+    def test_copy_isolated(self, bus):
+        clone = bus.copy()
+        clone.circuit.remove("rw1")
+        assert "rw1" in bus.circuit
+
+
+class TestPulseTransmission:
+    def test_healthy_line_passes_pulse(self, bus):
+        assert wout(bus) == pytest.approx(0.42e-9, rel=0.12)
+
+    def test_bad_pulse_kind_rejected(self, bus):
+        with pytest.raises(NetlistError):
+            bus.set_input_pulse(0.4e-9, kind="q")
+
+
+class TestWireOpen:
+    def test_injection_structure(self, bus):
+        faulty = inject_wire_open(bus, 3, 5e3)
+        assert "R_fault" in faulty.circuit
+        assert "R_fault" not in bus.circuit
+
+    def test_segment_bounds(self, bus):
+        with pytest.raises(NetlistError):
+            inject_wire_open(bus, 0, 5e3)
+        with pytest.raises(NetlistError):
+            inject_wire_open(bus, 7, 5e3)
+
+    def test_via_dampens_with_resistance(self, bus):
+        w_healthy = wout(bus)
+        w_small = wout(inject_wire_open(bus, 3, 1e3))
+        w_large = wout(inject_wire_open(bus, 3, 8e3))
+        assert w_small < w_healthy
+        assert w_large == 0.0
+
+    def test_static_levels_unaffected(self, bus):
+        faulty = inject_wire_open(bus, 3, 8e3)
+        op = operating_point(faulty.circuit)
+        assert op["bus_out"] == pytest.approx(0.0, abs=0.05)

@@ -1,0 +1,126 @@
+"""Sensitized-path builder tests."""
+
+import pytest
+
+from repro.cells import build_path, default_technology
+from repro.spice import operating_point, run_transient
+from repro.spice.errors import NetlistError
+
+DT = 4e-12
+
+
+class TestStructure:
+    def test_default_is_seven_gates(self):
+        path = build_path()
+        assert path.n_gates == 7
+        assert path.stage_nodes == ["a0", "a1", "a2", "a3", "a4", "a5",
+                                    "a6", "a7"]
+
+    def test_input_and_output_nodes(self):
+        path = build_path()
+        assert path.input_node == "a0"
+        assert path.output_node == "a7"
+
+    def test_side_fanout_present_at_stage_two(self):
+        path = build_path()
+        assert 2 in path.side_fanout_cells
+        assert "g2s.MN" in path.circuit
+
+    def test_cell_at_bounds(self):
+        path = build_path()
+        assert path.cell_at(1).name == "g1"
+        assert path.cell_at(7).name == "g7"
+        with pytest.raises(NetlistError):
+            path.cell_at(0)
+        with pytest.raises(NetlistError):
+            path.cell_at(8)
+
+    def test_mixed_gate_kinds(self):
+        path = build_path(gate_kinds=("inv", "nand2", "nor2", "inv"))
+        assert path.n_gates == 4
+        assert path.cell_at(2).kind == "nand2"
+        # NAND side inputs tied to vdd, NOR side inputs tied to ground.
+        nand_side_gate = path.circuit.element("g2.MN1")
+        assert nand_side_gate.node("g") == "vdd"
+        nor_side = path.circuit.element("g3.MN1")
+        assert nor_side.node("g") == "0"
+
+
+class TestInversionsAndIdleLevels:
+    def test_all_inverters_parity(self):
+        path = build_path()
+        assert path.inversions_to(7) == 7
+        assert path.idle_level(7, 0) == 1
+        assert path.idle_level(7, 1) == 0
+
+    def test_intermediate_levels_alternate(self):
+        path = build_path()
+        assert [path.idle_level(i, 0) for i in range(8)] == [
+            0, 1, 0, 1, 0, 1, 0, 1]
+
+
+class TestStaticSensitization:
+    def test_dc_levels_alternate_along_path(self):
+        path = build_path(gate_kinds=("inv", "nand2", "nor2", "inv", "inv"))
+        op = operating_point(path.circuit)
+        vdd = path.tech.vdd
+        for i in range(1, path.n_gates + 1):
+            expected = path.idle_level(i, 0) * vdd
+            assert op[path.stage_nodes[i]] == pytest.approx(
+                expected, abs=0.05), "stage {}".format(i)
+
+
+class TestStimulusHelpers:
+    def test_pulse_width_measured_at_input(self):
+        path = build_path()
+        path.set_input_pulse(0.4e-9, kind="h")
+        wf = run_transient(path.circuit, 1.5e-9, DT, record=["a0"])
+        w = wf.widest_pulse("a0", path.tech.vdd_half, polarity="high")
+        assert w == pytest.approx(0.4e-9, rel=0.03)
+
+    def test_low_pulse_polarity(self):
+        path = build_path()
+        path.set_input_pulse(0.4e-9, kind="l")
+        wf = run_transient(path.circuit, 1.5e-9, DT, record=["a0"])
+        w = wf.widest_pulse("a0", path.tech.vdd_half, polarity="low")
+        assert w == pytest.approx(0.4e-9, rel=0.03)
+
+    def test_narrow_pulse_clamped_to_edge(self):
+        path = build_path()
+        # Requesting less than one edge time cannot be honoured exactly;
+        # the generator floor is about the edge time.
+        path.set_input_pulse(0.01e-9, kind="h")
+        wf = run_transient(path.circuit, 1.5e-9, DT, record=["a0"])
+        w = wf.widest_pulse("a0", path.tech.vdd_half, polarity="high")
+        assert w == pytest.approx(path.tech.edge_time, rel=0.1)
+
+    def test_transition_stimulus(self):
+        path = build_path()
+        path.set_input_transition("rise")
+        wf = run_transient(path.circuit, 1.5e-9, DT, record=["a0"])
+        assert wf.value_at("a0", 1.4e-9) == pytest.approx(path.tech.vdd,
+                                                          abs=0.01)
+
+    def test_bad_pulse_kind_rejected(self):
+        path = build_path()
+        with pytest.raises(NetlistError):
+            path.set_input_pulse(0.4e-9, kind="x")
+
+    def test_bad_direction_rejected(self):
+        path = build_path()
+        with pytest.raises(NetlistError):
+            path.set_input_transition("sideways")
+
+
+class TestCopy:
+    def test_copy_isolates_circuit(self):
+        path = build_path()
+        clone = path.copy()
+        clone.circuit.add_resistor("Rx", "a1", "0", 1e6)
+        assert "Rx" not in path.circuit
+
+    def test_copy_shares_structure_metadata(self):
+        path = build_path()
+        clone = path.copy()
+        assert clone.stage_nodes == path.stage_nodes
+        assert clone.n_gates == path.n_gates

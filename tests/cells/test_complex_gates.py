@@ -1,0 +1,105 @@
+"""AOI21/OAI21 cell tests."""
+
+import pytest
+
+from repro.cells import build_path, default_technology
+from repro.cells.library import build_aoi21, build_oai21
+from repro.spice import Circuit, operating_point, run_transient
+
+DT = 5e-12
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def gate_circuit(builder, tech, a, b, c):
+    circuit = Circuit()
+    circuit.add_vsource("VDD", "vdd", "0", tech.vdd)
+    for pin, value in (("a", a), ("b", b), ("c", c)):
+        circuit.add_vsource("V" + pin, pin, "0",
+                            tech.vdd if value else 0.0)
+    cell = builder(circuit, "u1", "a", "b", "c", "y", tech)
+    return circuit, cell
+
+
+class TestAoi21:
+    @pytest.mark.parametrize("a,b,c", [(a, b, c) for a in (0, 1)
+                                       for b in (0, 1) for c in (0, 1)])
+    def test_truth_table(self, tech, a, b, c):
+        circuit, _ = gate_circuit(build_aoi21, tech, a, b, c)
+        expected = int(not ((a and b) or c))
+        out = operating_point(circuit)["y"]
+        assert out == pytest.approx(expected * tech.vdd, abs=0.05), (
+            a, b, c)
+
+    def test_structure(self, tech):
+        circuit, cell = gate_circuit(build_aoi21, tech, 0, 0, 0)
+        assert len(cell.nmos_names) == 3
+        assert len(cell.pmos_names) == 3
+        assert cell.side_ties == {"b": 1, "c": 0}
+        assert len(cell.pullup_rail_devices) == 1
+        assert len(cell.pulldown_rail_devices) == 2
+
+
+class TestOai21:
+    @pytest.mark.parametrize("a,b,c", [(a, b, c) for a in (0, 1)
+                                       for b in (0, 1) for c in (0, 1)])
+    def test_truth_table(self, tech, a, b, c):
+        circuit, _ = gate_circuit(build_oai21, tech, a, b, c)
+        expected = int(not ((a or b) and c))
+        out = operating_point(circuit)["y"]
+        assert out == pytest.approx(expected * tech.vdd, abs=0.05), (
+            a, b, c)
+
+    def test_structure(self, tech):
+        circuit, cell = gate_circuit(build_oai21, tech, 0, 0, 0)
+        assert cell.side_ties == {"b": 0, "c": 1}
+        assert len(cell.pullup_rail_devices) == 2
+        assert len(cell.pulldown_rail_devices) == 1
+
+
+class TestComplexGateChains:
+    def test_mixed_chain_statically_sensitized(self, tech):
+        path = build_path(tech=tech,
+                          gate_kinds=("inv", "aoi21", "oai21", "inv"))
+        op = operating_point(path.circuit)
+        vdd = tech.vdd
+        for i in range(1, 5):
+            expected = path.idle_level(i, 0) * vdd
+            assert op["a{}".format(i)] == pytest.approx(
+                expected, abs=0.05), "stage {}".format(i)
+
+    def test_pulse_propagates_through_complex_chain(self, tech):
+        path = build_path(
+            tech=tech,
+            gate_kinds=("inv", "aoi21", "oai21", "inv", "aoi21"))
+        path.set_input_pulse(0.45e-9, kind="h")
+        wf = run_transient(path.circuit, 4.5e-9, DT,
+                           record=[path.output_node])
+        polarity = "low" if path.idle_level(5, 0) else "high"
+        w_out = wf.widest_pulse(path.output_node, tech.vdd_half,
+                                polarity)
+        assert w_out > 0.3e-9
+
+    def test_internal_open_injectable_in_aoi(self, tech):
+        from repro.faults import InternalOpen, PULL_UP, inject
+        path = build_path(tech=tech,
+                          gate_kinds=("inv", "aoi21", "inv", "inv"))
+        faulty = inject(path, InternalOpen(2, PULL_UP, 8e3))
+        assert "R_fault" in faulty.circuit
+        # the pull-up rail of AOI21 is the series PMOS source
+        mp = faulty.circuit.element("g2.MPc")
+        assert mp.node("s") != "vdd"
+
+    def test_narrow_pulse_dies_in_complex_chain(self, tech):
+        path = build_path(
+            tech=tech,
+            gate_kinds=("inv", "aoi21", "oai21", "inv", "aoi21"))
+        path.set_input_pulse(0.12e-9, kind="h")
+        wf = run_transient(path.circuit, 4.5e-9, DT,
+                           record=[path.output_node])
+        polarity = "low" if path.idle_level(5, 0) else "high"
+        assert wf.widest_pulse(path.output_node, tech.vdd_half,
+                               polarity) == 0.0

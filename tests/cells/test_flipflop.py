@@ -1,0 +1,75 @@
+"""Transistor-level flip-flop tests."""
+
+import pytest
+
+from repro.cells.flipflop import (_capture_run, build_dff,
+                                  build_transmission_gate,
+                                  flipflop_timing_from_electrical,
+                                  measure_clk_to_q, measure_setup_time)
+from repro.cells import default_technology
+from repro.spice import Circuit, operating_point
+
+DT = 4e-12
+
+
+@pytest.fixture(scope="module")
+def dff():
+    return build_dff()
+
+
+class TestTransmissionGate:
+    def test_conducting_when_ctrl_high(self):
+        tech = default_technology()
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        c.add_vsource("VA", "a", "0", 1.5)
+        c.add_vsource("VC", "ctrl", "0", tech.vdd)
+        c.add_vsource("VCB", "ctrlb", "0", 0.0)
+        build_transmission_gate(c, "tg", "a", "b", "ctrl", "ctrlb", tech)
+        c.add_resistor("RL", "b", "0", 1e6)
+        assert operating_point(c)["b"] == pytest.approx(1.5, abs=0.05)
+
+    def test_blocking_when_ctrl_low(self):
+        tech = default_technology()
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        c.add_vsource("VA", "a", "0", 1.5)
+        c.add_vsource("VC", "ctrl", "0", 0.0)
+        c.add_vsource("VCB", "ctrlb", "0", tech.vdd)
+        build_transmission_gate(c, "tg", "a", "b", "ctrl", "ctrlb", tech)
+        c.add_resistor("RL", "b", "0", 1e6)
+        assert operating_point(c)["b"] < 0.3
+
+
+class TestCapture:
+    def test_captures_one(self, dff):
+        wf = _capture_run(dff, 0.7e-9, 1.6e-9, d_value=1, dt=DT)
+        assert wf.value_at("q", wf.t[-1]) > dff.tech.vdd - 0.2
+
+    def test_captures_zero(self, dff):
+        wf = _capture_run(dff, 0.7e-9, 1.6e-9, d_value=0, dt=DT)
+        assert wf.value_at("q", wf.t[-1]) < 0.2
+
+    def test_late_data_missed(self, dff):
+        """Data arriving after the edge is not captured (the slave holds
+        the init value)."""
+        wf = _capture_run(dff, 2.2e-9, 1.6e-9, d_value=1, dt=DT)
+        assert wf.value_at("q", 2.1e-9) < 0.3
+
+
+class TestTimingMeasurements:
+    def test_clk_to_q_physical(self, dff):
+        cq = measure_clk_to_q(dff, dt=DT)
+        assert 30e-12 < cq < 500e-12
+
+    def test_setup_physical(self, dff):
+        setup = measure_setup_time(dff, dt=DT, resolution=8e-12)
+        assert 10e-12 < setup < 500e-12
+
+    def test_behavioural_packaging(self):
+        timing = flipflop_timing_from_electrical(dt=DT)
+        assert timing.nominal_overhead > 60e-12
+        # the measured overhead feeds the DF baseline directly
+        from repro.dft import DelayFaultTest
+        test = DelayFaultTest(1e-9, timing)
+        assert test.detects(1e-9 - timing.nominal_overhead + 1e-12)

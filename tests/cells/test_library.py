@@ -1,0 +1,159 @@
+"""Standard-cell builder tests: structure and static logic behaviour."""
+
+import pytest
+
+from repro.cells import (build_gate, build_inverter, build_nand, build_nor,
+                         default_technology)
+from repro.spice import Circuit, Mosfet, operating_point
+from repro.spice.errors import NetlistError
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def powered_circuit(tech):
+    c = Circuit()
+    c.add_vsource("VDD", "vdd", "0", tech.vdd)
+    return c
+
+
+def drive(circuit, node, value, tech, name=None):
+    circuit.add_vsource(name or "V_{}".format(node), node, "0",
+                        tech.vdd if value else 0.0)
+
+
+class TestInverterStructure:
+    def test_device_names_and_count(self, tech):
+        c = powered_circuit(tech)
+        cell = build_inverter(c, "u1", "a", "y", tech)
+        assert cell.nmos_names == ["u1.MN"]
+        assert cell.pmos_names == ["u1.MP"]
+        assert len(c.elements(Mosfet)) == 2
+
+    def test_rail_devices_exposed(self, tech):
+        c = powered_circuit(tech)
+        cell = build_inverter(c, "u1", "a", "y", tech)
+        assert cell.pullup_rail_devices == [("u1.MP", "s")]
+        assert cell.pulldown_rail_devices == [("u1.MN", "s")]
+
+    def test_wire_load_added(self, tech):
+        c = powered_circuit(tech)
+        build_inverter(c, "u1", "a", "y", tech)
+        assert "u1.cw" in c
+
+    def test_strength_scales_widths(self, tech):
+        c = powered_circuit(tech)
+        build_inverter(c, "u1", "a", "y", tech, strength=2.0)
+        assert c.element("u1.MN").width == pytest.approx(2 * tech.wn_unit)
+
+    @pytest.mark.parametrize("a,expected", [(0, "high"), (1, "low")])
+    def test_static_truth_table(self, tech, a, expected):
+        c = powered_circuit(tech)
+        build_inverter(c, "u1", "a", "y", tech)
+        drive(c, "a", a, tech)
+        y = operating_point(c)["y"]
+        if expected == "high":
+            assert y == pytest.approx(tech.vdd, abs=0.02)
+        else:
+            assert y == pytest.approx(0.0, abs=0.02)
+
+
+class TestNandStructure:
+    def test_device_count(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nand(c, "u1", ["a", "b"], "y", tech)
+        assert len(cell.nmos_names) == 2
+        assert len(cell.pmos_names) == 2
+        assert len(cell.internal_nodes) == 1
+
+    def test_series_stack_widened(self, tech):
+        c = powered_circuit(tech)
+        build_nand(c, "u1", ["a", "b"], "y", tech)
+        assert c.element("u1.MN0").width == pytest.approx(2 * tech.wn_unit)
+
+    def test_pullup_rail_is_every_pmos(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nand(c, "u1", ["a", "b"], "y", tech)
+        assert len(cell.pullup_rail_devices) == 2
+
+    def test_pulldown_rail_is_stack_bottom(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nand(c, "u1", ["a", "b"], "y", tech)
+        (device, term), = cell.pulldown_rail_devices
+        assert term == "s"
+        assert c.element(device).node("s") == "0"
+
+    def test_rejects_single_input(self, tech):
+        with pytest.raises(NetlistError):
+            build_nand(powered_circuit(tech), "u1", ["a"], "y", tech)
+
+    @pytest.mark.parametrize("a,b,y", [(0, 0, 1), (0, 1, 1), (1, 0, 1),
+                                       (1, 1, 0)])
+    def test_static_truth_table(self, tech, a, b, y):
+        c = powered_circuit(tech)
+        build_nand(c, "u1", ["a", "b"], "y", tech)
+        drive(c, "a", a, tech)
+        drive(c, "b", b, tech)
+        out = operating_point(c)["y"]
+        assert out == pytest.approx(y * tech.vdd, abs=0.02)
+
+    def test_noncontrolling_value(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nand(c, "u1", ["a", "b"], "y", tech)
+        assert cell.noncontrolling_value() == 1
+
+
+class TestNorStructure:
+    def test_series_pullup_widened(self, tech):
+        c = powered_circuit(tech)
+        build_nor(c, "u1", ["a", "b"], "y", tech)
+        assert c.element("u1.MP0").width == pytest.approx(2 * tech.wp_unit)
+
+    def test_pullup_rail_is_stack_top(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nor(c, "u1", ["a", "b"], "y", tech)
+        (device, term), = cell.pullup_rail_devices
+        assert c.element(device).node("s") == "vdd"
+
+    @pytest.mark.parametrize("a,b,y", [(0, 0, 1), (0, 1, 0), (1, 0, 0),
+                                       (1, 1, 0)])
+    def test_static_truth_table(self, tech, a, b, y):
+        c = powered_circuit(tech)
+        build_nor(c, "u1", ["a", "b"], "y", tech)
+        drive(c, "a", a, tech)
+        drive(c, "b", b, tech)
+        out = operating_point(c)["y"]
+        assert out == pytest.approx(y * tech.vdd, abs=0.02)
+
+    def test_noncontrolling_value(self, tech):
+        c = powered_circuit(tech)
+        cell = build_nor(c, "u1", ["a", "b"], "y", tech)
+        assert cell.noncontrolling_value() == 0
+
+
+class TestBuildGate:
+    def test_inverter_has_no_side_nodes(self, tech):
+        c = powered_circuit(tech)
+        cell, sides = build_gate(c, "inv", "u1", "a", "y", tech)
+        assert sides == []
+
+    def test_nand3_exposes_two_side_nodes(self, tech):
+        c = powered_circuit(tech)
+        cell, sides = build_gate(c, "nand3", "u1", "a", "y", tech)
+        assert len(sides) == 2
+        assert all(s.startswith("u1:side") for s in sides)
+        assert cell.inputs[0] == "a"
+
+    def test_unknown_kind_rejected(self, tech):
+        with pytest.raises(NetlistError):
+            build_gate(powered_circuit(tech), "xor9", "u1", "a", "y", tech)
+
+    def test_three_input_nand_truth(self, tech):
+        c = powered_circuit(tech)
+        cell, sides = build_gate(c, "nand3", "u1", "a", "y", tech)
+        drive(c, "a", 1, tech)
+        for i, s in enumerate(sides):
+            drive(c, s, 1, tech, name="VS{}".format(i))
+        assert operating_point(c)["y"] == pytest.approx(0.0, abs=0.02)

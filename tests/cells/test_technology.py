@@ -1,0 +1,80 @@
+"""Technology parameter derivation tests."""
+
+import pytest
+
+from repro.cells import Technology, default_technology
+
+
+class TestDefaults:
+    def test_default_is_quarter_micron_class(self):
+        tech = default_technology()
+        assert tech.vdd == pytest.approx(2.5)
+        assert 0.1e-6 < tech.length < 0.5e-6
+
+    def test_half_vdd_level(self):
+        tech = default_technology()
+        assert tech.vdd_half == pytest.approx(1.25)
+
+
+class TestMosfetParams:
+    def test_nmos_params_use_n_values(self):
+        tech = default_technology()
+        p = tech.mosfet_params("nmos", 1e-6)
+        assert p.kp == pytest.approx(tech.kpn)
+        assert p.vt == pytest.approx(tech.vtn)
+
+    def test_pmos_params_use_p_values(self):
+        tech = default_technology()
+        p = tech.mosfet_params("pmos", 1e-6)
+        assert p.kp == pytest.approx(tech.kpp)
+        assert p.vt == pytest.approx(tech.vtp)
+
+    def test_rejects_unknown_polarity(self):
+        with pytest.raises(ValueError):
+            default_technology().mosfet_params("finfet", 1e-6)
+
+    def test_capacitances_scale_with_width(self):
+        tech = default_technology()
+        narrow = tech.mosfet_params("nmos", 1e-6)
+        wide = tech.mosfet_params("nmos", 2e-6)
+        assert wide.cgs == pytest.approx(2 * narrow.cgs)
+        assert wide.cdb == pytest.approx(2 * narrow.cdb)
+
+    def test_factors_apply(self):
+        tech = default_technology()
+        p = tech.mosfet_params("nmos", 1e-6, kp_factor=1.1, vt_factor=0.9,
+                               c_factor=1.2)
+        base = tech.mosfet_params("nmos", 1e-6)
+        assert p.kp == pytest.approx(1.1 * base.kp)
+        assert p.vt == pytest.approx(0.9 * base.vt)
+        assert p.cgs == pytest.approx(1.2 * base.cgs)
+
+
+class TestGateInputCapacitance:
+    def test_positive_and_fF_scale(self):
+        c = default_technology().gate_input_capacitance()
+        assert 0.5e-15 < c < 50e-15
+
+    def test_grows_with_width(self):
+        tech = default_technology()
+        assert tech.gate_input_capacitance(
+            wn=2e-6, wp=4e-6) > tech.gate_input_capacitance()
+
+
+class TestCopyAndScale:
+    def test_copy_with_override(self):
+        tech = default_technology()
+        hot = tech.copy(vdd=1.8)
+        assert hot.vdd == 1.8
+        assert hot.kpn == tech.kpn
+        assert tech.vdd == 2.5  # original untouched
+
+    def test_scaled_multiplies_fields(self):
+        tech = default_technology()
+        scaled = tech.scaled({"kpn": 1.5, "vtn": 0.8})
+        assert scaled.kpn == pytest.approx(1.5 * tech.kpn)
+        assert scaled.vtn == pytest.approx(0.8 * tech.vtn)
+
+    def test_scaled_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            default_technology().scaled({"nonsense": 2.0})

@@ -1,0 +1,54 @@
+"""Transistor-level XOR2 tests."""
+
+import pytest
+
+from repro.cells import default_technology
+from repro.cells.library import build_xor2
+from repro.spice import Circuit, operating_point
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def xor_circuit(tech, a, b):
+    c = Circuit()
+    c.add_vsource("VDD", "vdd", "0", tech.vdd)
+    c.add_vsource("VA", "a", "0", tech.vdd if a else 0.0)
+    c.add_vsource("VB", "b", "0", tech.vdd if b else 0.0)
+    cell = build_xor2(c, "x1", "a", "b", "y", tech)
+    return c, cell
+
+
+class TestXorStatic:
+    @pytest.mark.parametrize("a,b,y", [(0, 0, 0), (0, 1, 1),
+                                       (1, 0, 1), (1, 1, 0)])
+    def test_truth_table(self, tech, a, b, y):
+        c, _ = xor_circuit(tech, a, b)
+        out = operating_point(c)["y"]
+        assert out == pytest.approx(y * tech.vdd, abs=0.05)
+
+    def test_structure(self, tech):
+        c, cell = xor_circuit(tech, 0, 0)
+        assert cell.kind == "xor2"
+        assert not cell.inverting
+        assert len(cell.nmos_names) == 6   # 4 network + 2 inverter
+        assert len(cell.pmos_names) == 6
+        assert len(cell.internal_nodes) == 6
+
+
+class TestXorDynamic:
+    def test_transition_produces_output_toggle(self, tech):
+        from repro.spice import Pulse, run_transient
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        c.add_vsource("VA", "a", "0",
+                      Pulse(0, tech.vdd, delay=0.3e-9, rise=60e-12,
+                            width=1.5e-9, fall=60e-12))
+        c.add_vsource("VB", "b", "0", 0.0)
+        build_xor2(c, "x1", "a", "b", "y", tech)
+        wf = run_transient(c, 2.5e-9, 4e-12, record=["a", "y"])
+        # b=0: y follows a
+        assert wf.value_at("y", 0.1e-9) < 0.2
+        assert wf.value_at("y", 1.2e-9) > tech.vdd - 0.2

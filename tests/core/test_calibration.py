@@ -1,0 +1,73 @@
+"""Calibration tests (electrical, small population, coarse step)."""
+
+import pytest
+
+from repro.core import (calibrate_delay_test, calibrate_pulse_test,
+                        measure_output_pulse, build_instance)
+
+DT = 4e-12
+
+
+@pytest.fixture(scope="module")
+def pulse_cal(small_population_module, tech_module):
+    return calibrate_pulse_test(small_population_module, tech=tech_module,
+                                dt=DT)
+
+
+@pytest.fixture(scope="module")
+def small_population_module():
+    from repro.montecarlo import sample_population
+    return sample_population(3, base_seed=11)
+
+
+@pytest.fixture(scope="module")
+def tech_module():
+    from repro.cells import default_technology
+    return default_technology()
+
+
+class TestPulseCalibration:
+    def test_omega_in_in_asymptotic_region(self, pulse_cal):
+        onset = pulse_cal.nominal_curve.region3_onset()
+        assert pulse_cal.omega_in >= onset
+
+    def test_no_false_positive_at_worst_case(self, pulse_cal):
+        # every fault-free instance clears the 1.1x-threshold detector
+        detector = pulse_cal.detector
+        for w_out in pulse_cal.fault_free_wouts:
+            assert detector.transition_seen(w_out, factor=1.1)
+
+    def test_threshold_tight_against_weakest(self, pulse_cal):
+        weakest = min(pulse_cal.fault_free_wouts)
+        assert pulse_cal.omega_th == pytest.approx(weakest / 1.1)
+
+    def test_forced_omega_in_respected(self, small_population_module,
+                                       tech_module):
+        cal = calibrate_pulse_test(small_population_module,
+                                   tech=tech_module, dt=DT,
+                                   omega_in=0.5e-9)
+        assert cal.omega_in == 0.5e-9
+
+    def test_attenuation_region_omega_rejected(self, small_population_module,
+                                               tech_module):
+        # forcing omega_in into region 1 (fully dampened) must fail the
+        # yield constraint loudly
+        with pytest.raises(ValueError):
+            calibrate_pulse_test(small_population_module, tech=tech_module,
+                                 dt=DT, omega_in=0.15e-9)
+
+
+class TestDelayCalibration:
+    def test_returns_test_and_delays(self, small_population_module,
+                                     tech_module):
+        test, delays = calibrate_delay_test(small_population_module,
+                                            tech=tech_module, dt=DT)
+        assert len(delays) == len(small_population_module)
+        assert test.t_star > max(delays)
+
+    def test_no_false_positives_by_construction(self, small_population_module,
+                                                tech_module):
+        test, delays = calibrate_delay_test(small_population_module,
+                                            tech=tech_module, dt=DT)
+        for d, s in zip(delays, small_population_module):
+            assert not test.detects(d, sample=s, t_factor=0.9)

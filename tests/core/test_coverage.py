@@ -1,0 +1,115 @@
+"""Coverage computation tests using synthetic raw measurements.
+
+Coverage logic is pure arithmetic over raw (w_out or delay) matrices, so
+these tests run without any electrical simulation.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (CoverageCurve, PulseDetector, delay_coverage,
+                        pulse_coverage)
+from repro.core.calibration import PulseTestCalibration
+from repro.core.coverage import (delay_is_all_finite,
+                                 detected_fraction_is_monotonic)
+from repro.dft import DelayFaultTest, FlipFlopTiming
+from repro.montecarlo import sample_population
+
+
+def make_calibration(omega_in=0.45e-9, omega_th=0.35e-9):
+    return PulseTestCalibration(
+        omega_in, PulseDetector(omega_th), nominal_curve=None,
+        fault_free_wouts=[omega_th * 1.1] * 3, sensing_tolerance=0.1)
+
+
+class TestPulseCoverage:
+    def test_full_dampening_gives_full_coverage(self):
+        samples = sample_population(3)
+        resistances = [1e3, 2e3]
+        raw = [[0.0, 0.0]] * 3
+        result = pulse_coverage(raw, samples, resistances,
+                                make_calibration())
+        assert result.curve("1.0*w_th").coverage == [1.0, 1.0]
+
+    def test_healthy_widths_give_zero_coverage(self):
+        samples = sample_population(3)
+        raw = [[0.45e-9, 0.45e-9]] * 3
+        result = pulse_coverage(raw, samples, [1e3, 2e3],
+                                make_calibration())
+        assert result.curve("1.0*w_th").coverage == [0.0, 0.0]
+
+    def test_threshold_factor_orders_coverage(self):
+        samples = sample_population(4)
+        # widths straddling the threshold band
+        raw = [[0.34e-9], [0.36e-9], [0.32e-9], [0.40e-9]]
+        result = pulse_coverage(raw, samples, [1e3], make_calibration())
+        c_low = result.curve("0.9*w_th").coverage[0]
+        c_mid = result.curve("1.0*w_th").coverage[0]
+        c_high = result.curve("1.1*w_th").coverage[0]
+        assert c_low <= c_mid <= c_high
+
+    def test_labels(self):
+        samples = sample_population(2)
+        result = pulse_coverage([[0.0]] * 2, samples, [1e3],
+                                make_calibration())
+        assert result.labels() == ["0.9*w_th", "1.0*w_th", "1.1*w_th"]
+
+
+class TestDelayCoverage:
+    def make_test(self, t_star=1e-9):
+        return DelayFaultTest(t_star, FlipFlopTiming(0.0, 0.0))
+
+    def test_slow_paths_detected(self):
+        samples = sample_population(2)
+        raw = [[2e-9], [2e-9]]
+        result = delay_coverage(raw, samples, [1e3], self.make_test())
+        assert result.curve("1.0*T").coverage == [1.0]
+
+    def test_fast_paths_pass(self):
+        samples = sample_population(2)
+        raw = [[0.5e-9], [0.5e-9]]
+        result = delay_coverage(raw, samples, [1e3], self.make_test())
+        assert result.curve("1.0*T").coverage == [0.0]
+
+    def test_infinite_delay_detected_at_any_period(self):
+        samples = sample_population(1)
+        raw = [[math.inf]]
+        result = delay_coverage(raw, samples, [1e3], self.make_test())
+        assert result.curve("1.1*T").coverage == [1.0]
+
+    def test_period_factor_orders_coverage(self):
+        samples = sample_population(3)
+        raw = [[0.95e-9], [1.05e-9], [1.15e-9]]
+        result = delay_coverage(raw, samples, [1e3], self.make_test())
+        c9 = result.curve("0.9*T").coverage[0]
+        c10 = result.curve("1.0*T").coverage[0]
+        c11 = result.curve("1.1*T").coverage[0]
+        assert c9 >= c10 >= c11
+
+
+class TestCoverageCurve:
+    def test_minimum_detectable_r(self):
+        curve = CoverageCurve("x", [1e3, 2e3, 4e3], [0.0, 0.5, 1.0], 4)
+        assert curve.minimum_detectable_r() == 4e3
+        assert curve.minimum_detectable_r(target=0.5) == 2e3
+
+    def test_minimum_detectable_r_none(self):
+        curve = CoverageCurve("x", [1e3], [0.5], 4)
+        assert curve.minimum_detectable_r() is None
+
+    def test_confidence_intervals_bracket_coverage(self):
+        curve = CoverageCurve("x", [1e3, 2e3], [0.25, 1.0], 4)
+        for (lo, hi), c in zip(curve.confidence_intervals(),
+                               curve.coverage):
+            assert lo <= c <= hi
+
+    def test_monotonicity_helper(self):
+        up = CoverageCurve("x", [1, 2, 3], [0.0, 0.5, 1.0], 4)
+        down = CoverageCurve("x", [1, 2, 3], [1.0, 0.5, 0.0], 4)
+        assert detected_fraction_is_monotonic(up)
+        assert not detected_fraction_is_monotonic(down)
+
+    def test_all_finite_helper(self):
+        assert delay_is_all_finite([[1e-9, 2e-9]])
+        assert not delay_is_all_finite([[1e-9, math.inf]])

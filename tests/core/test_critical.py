@@ -1,0 +1,50 @@
+"""Bridging critical-resistance tests."""
+
+import pytest
+
+from repro.core import (bridging_critical_resistance, build_instance,
+                        static_levels_correct)
+from repro.faults import BridgingFault, inject
+from repro.montecarlo import NominalModel
+
+
+@pytest.fixture(scope="module")
+def r_crit():
+    return bridging_critical_resistance(rel_tol=0.05)
+
+
+class TestCriticalResistance:
+    def test_exists_in_plausible_band(self, r_crit):
+        assert r_crit is not None
+        assert 100.0 < r_crit < 10e3
+
+    def test_error_below_and_correct_above(self, r_crit):
+        reference = build_instance(sample=NominalModel())
+        below = inject(build_instance(sample=NominalModel()),
+                       BridgingFault(2, r_crit * 0.7))
+        above = inject(build_instance(sample=NominalModel()),
+                       BridgingFault(2, r_crit * 1.5))
+        # contention input level for the default fault: victim a2 wants 1
+        assert not static_levels_correct(below, 1,
+                                         reference_path=reference)
+        assert static_levels_correct(above, 1,
+                                     reference_path=reference)
+
+    def test_benign_range_returns_none(self):
+        result = bridging_critical_resistance(r_lo=30e3, r_hi=60e3)
+        assert result is None
+
+
+class TestStaticLevels:
+    def test_healthy_circuit_is_correct(self):
+        path = build_instance(sample=NominalModel())
+        reference = build_instance(sample=NominalModel())
+        assert static_levels_correct(path, 0, reference_path=reference)
+        assert static_levels_correct(path, 1, reference_path=reference)
+
+    def test_hard_bridge_is_incorrect(self):
+        faulty = inject(build_instance(sample=NominalModel()),
+                        BridgingFault(2, 150.0))
+        reference = build_instance(sample=NominalModel())
+        assert not static_levels_correct(faulty, 1,
+                                         reference_path=reference)

@@ -1,0 +1,90 @@
+"""Logic-to-electrical cross-check tests."""
+
+import pytest
+
+from repro.core import (chain_kinds_for_path, electrical_path_for,
+                        validate_path_electrically)
+from repro.core.crosscheck import refine_omega_in_electrically
+from repro.logic import c17, characterize_path_for_test
+
+DT = 5e-12
+
+
+class TestKindMapping:
+    def test_c17_path_maps_to_nands(self):
+        kinds = chain_kinds_for_path(c17(), ["G1", "G10", "G22"])
+        assert kinds == ("nand2", "nand2")
+
+    def test_arity_capped_at_three(self):
+        from repro.logic.netlist import LogicNetlist
+        n = LogicNetlist()
+        for pi in "abcd":
+            n.add_input(pi)
+        n.add_gate("nand", ["a", "b", "c", "d"], "y")
+        n.add_output("y")
+        assert chain_kinds_for_path(n, ["a", "y"]) == ("nand3",)
+
+    def test_not_and_buf_map_to_inverter(self):
+        from repro.logic.netlist import LogicNetlist
+        n = LogicNetlist()
+        n.add_input("a")
+        n.add_gate("not", ["a"], "x")
+        n.add_gate("buf", ["x"], "y")
+        n.add_output("y")
+        assert chain_kinds_for_path(n, ["a", "x", "y"]) == ("inv", "inv")
+
+
+class TestElectricalTranslation:
+    def test_structure_matches_path_length(self):
+        path = electrical_path_for(c17(), ["G1", "G10", "G22"])
+        assert path.n_gates == 2
+        assert path.cell_at(1).kind == "nand2"
+
+    def test_side_inputs_tied_noncontrolling(self):
+        from repro.spice import operating_point
+        path = electrical_path_for(c17(), ["G1", "G10", "G22"])
+        op = operating_point(path.circuit)
+        # statically sensitized: alternating rail values along the path
+        vdd = path.tech.vdd
+        assert abs(op["a2"] - path.idle_level(2, 0) * vdd) < 0.05
+
+
+class TestValidation:
+    def test_c17_recommendation_validates(self):
+        n = c17()
+        path = ["G1", "G10", "G22"]
+        info = characterize_path_for_test(n, path)
+        ok, w_out, _ = validate_path_electrically(
+            n, path, info["omega_in"], dt=DT)
+        assert ok
+        assert w_out > 0.0
+
+    def test_tiny_width_fails_validation(self):
+        n = c17()
+        ok, w_out, _ = validate_path_electrically(
+            n, ["G1", "G10", "G22"], 30e-12, dt=DT)
+        assert not ok
+        assert w_out == 0.0
+
+
+class TestRefinement:
+    def test_refined_width_propagates(self):
+        n = c17()
+        path = ["G3", "G11", "G16", "G23"]
+        info = characterize_path_for_test(n, path)
+        omega_in, w_out, _ = refine_omega_in_electrically(
+            n, path, info["omega_in"], dt=DT)
+        assert w_out > 0.0
+        ok, _, _ = validate_path_electrically(n, path, omega_in, dt=DT)
+        assert ok
+
+    def test_refinement_never_below_electrical_threshold(self):
+        n = c17()
+        path = ["G1", "G10", "G22"]
+        info = characterize_path_for_test(n, path)
+        omega_in, w_out, chain = refine_omega_in_electrically(
+            n, path, info["omega_in"], dt=DT, margin_factor=1.4)
+        from repro.core import minimum_propagatable_width
+        w_min = minimum_propagatable_width(chain, lo=0.05e-9, hi=0.8e-9,
+                                           dt=DT)
+        assert omega_in >= w_min

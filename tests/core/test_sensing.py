@@ -1,0 +1,36 @@
+"""Pulse detector model tests."""
+
+import pytest
+
+from repro.core import PulseDetector
+
+
+class TestPulseDetector:
+    def test_transition_seen_at_threshold(self):
+        d = PulseDetector(200e-12)
+        assert d.transition_seen(200e-12)
+        assert not d.transition_seen(199e-12)
+
+    def test_fault_detected_is_complement(self):
+        d = PulseDetector(200e-12)
+        assert d.fault_detected(0.0)
+        assert not d.fault_detected(300e-12)
+
+    def test_sensitivity_factor_raises_threshold(self):
+        d = PulseDetector(200e-12)
+        assert d.effective_threshold(1.1) == pytest.approx(220e-12)
+        assert d.fault_detected(210e-12, factor=1.1)
+        assert not d.fault_detected(210e-12, factor=1.0)
+
+    def test_scaled_returns_new_detector(self):
+        d = PulseDetector(200e-12)
+        e = d.scaled(0.9)
+        assert e.omega_th == pytest.approx(180e-12)
+        assert d.omega_th == pytest.approx(200e-12)
+
+    def test_dampened_pulse_always_detected(self):
+        assert PulseDetector(1e-12).fault_detected(0.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            PulseDetector(0.0)

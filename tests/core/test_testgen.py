@@ -1,0 +1,135 @@
+"""Pulse-test generation tests (kind selection is the heart)."""
+
+import pytest
+
+from repro.core import (build_instance, degraded_transition,
+                        estimate_r_min, generate_pulse_test,
+                        measure_output_pulse, select_pulse_kind)
+from repro.core.testgen import BOTH, FALL, RISE
+from repro.faults import (BridgingFault, ExternalOpen,
+                          InternalBridgingFault, InternalOpen, PULL_DOWN,
+                          PULL_UP)
+from repro.montecarlo import sample_population
+
+DT = 5e-12
+NAND_CHAIN = ("inv", "nand2", "inv", "nand2", "inv", "inv", "inv")
+
+
+class TestDegradedTransition:
+    def test_internal_open_polarity(self):
+        assert degraded_transition(InternalOpen(2, PULL_UP, 1e3)) == RISE
+        assert degraded_transition(InternalOpen(2, PULL_DOWN, 1e3)) == FALL
+
+    def test_external_open_both(self):
+        assert degraded_transition(ExternalOpen(2, 1e3)) == BOTH
+
+    def test_bridging_follows_aggressor(self):
+        assert degraded_transition(BridgingFault(2, 1e3,
+                                                 aggressor_value=0)) == RISE
+        assert degraded_transition(BridgingFault(2, 1e3,
+                                                 aggressor_value=1)) == FALL
+
+    def test_internal_bridging_needs_cell_kind(self):
+        fault = InternalBridgingFault(2, 1e3)
+        with pytest.raises(ValueError):
+            degraded_transition(fault)
+        assert degraded_transition(fault, cell_kind="nand2") == FALL
+        assert degraded_transition(fault, cell_kind="nor2") == RISE
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(TypeError):
+            degraded_transition(object())
+
+
+class TestSelectPulseKind:
+    def test_pullup_open_at_even_stage_wants_h(self):
+        path = build_instance()
+        # stage 2 idles low under 'h' (two inversions); its leading edge
+        # rises -> matches the slowed transition.
+        assert select_pulse_kind(path, InternalOpen(2, PULL_UP, 1e3)) == "h"
+
+    def test_pullup_open_at_odd_stage_wants_l(self):
+        path = build_instance()
+        assert select_pulse_kind(path, InternalOpen(3, PULL_UP, 1e3)) == "l"
+
+    def test_pulldown_open_flips_choice(self):
+        path = build_instance()
+        assert select_pulse_kind(path,
+                                 InternalOpen(2, PULL_DOWN, 1e3)) == "l"
+
+    def test_external_defaults_to_h(self):
+        path = build_instance()
+        assert select_pulse_kind(path, ExternalOpen(2, 1e3)) == "h"
+
+    def test_internal_bridging_on_nand(self):
+        path = build_instance(gate_kinds=NAND_CHAIN)
+        assert select_pulse_kind(
+            path, InternalBridgingFault(2, 1e3)) == "l"
+
+
+class TestKindSelectionElectrically:
+    """The wrong kind lets the fault escape; the right kind kills the
+    pulse — verified on real transients."""
+
+    def test_right_kind_shrinks_wrong_kind_widens(self):
+        fault = InternalOpen(2, PULL_UP, 6e3)
+        w = {}
+        for kind in ("h", "l"):
+            faulty = build_instance(fault=fault)
+            w[kind], _ = measure_output_pulse(faulty, 0.42e-9, kind=kind,
+                                              dt=DT)
+            healthy = build_instance()
+            w[kind + "_ff"], _ = measure_output_pulse(
+                healthy, 0.42e-9, kind=kind, dt=DT)
+        assert w["h"] < w["h_ff"]       # right kind: shrinks (here: dies)
+        assert w["l"] > w["l_ff"]       # wrong kind: widens -> escapes
+
+    def test_internal_bridging_right_kind_shrinks(self):
+        fault = InternalBridgingFault(2, 3e3)
+        faulty = build_instance(fault=fault, gate_kinds=NAND_CHAIN)
+        healthy = build_instance(gate_kinds=NAND_CHAIN)
+        w_f, _ = measure_output_pulse(faulty, 0.42e-9, kind="l", dt=DT)
+        w_h, _ = measure_output_pulse(healthy, 0.42e-9, kind="l", dt=DT)
+        assert w_f < w_h
+
+
+class TestEstimateRMin:
+    def test_bisection_brackets_detection(self):
+        samples = sample_population(2, base_seed=5)
+        from repro.core import calibrate_pulse_test
+        cal = calibrate_pulse_test(samples, dt=DT)
+
+        def family(r):
+            return ExternalOpen(2, r)
+
+        r_min = estimate_r_min(family, cal.omega_in, cal.detector,
+                               dt=DT, rel_tol=0.1)
+        assert r_min is not None
+        assert 1e3 < r_min < 100e3
+
+    def test_undetectable_returns_none(self):
+        from repro.core import PulseDetector
+
+        def family(r):
+            return ExternalOpen(2, r)
+
+        # a 1 fs threshold can never flag anything that still transitions
+        detector = PulseDetector(1e-15)
+        r_min = estimate_r_min(family, 0.45e-9, detector, dt=DT,
+                               r_hi=5e3)
+        assert r_min is None
+
+
+class TestGeneratePulseTest:
+    def test_full_flow_internal_open(self):
+        samples = sample_population(2, base_seed=5)
+
+        def family(r):
+            return InternalOpen(2, PULL_UP, r)
+
+        test = generate_pulse_test(samples, family, dt=DT)
+        assert test.kind == "h"
+        assert test.omega_in > 0
+        assert test.r_min is not None
+        # internal opens are potent: detected well below 100k
+        assert test.r_min < 20e3

@@ -1,0 +1,115 @@
+"""Transfer-curve analysis tests.
+
+The synthetic-curve tests exercise the region logic without electrical
+simulation; the session-scoped fixture provides one real curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (TransferCurve, minimum_propagatable_width,
+                        recommended_w_in)
+from repro.cells import build_path
+
+
+def synthetic_curve():
+    """Idealised three-region curve: dead to 0.2ns, ramp to 0.4, slope 1."""
+    w_in = np.linspace(0.1e-9, 0.8e-9, 15)
+    w_out = np.where(
+        w_in <= 0.2e-9, 0.0,
+        np.where(w_in < 0.4e-9,
+                 (w_in - 0.2e-9) * 1.75,
+                 w_in - 0.05e-9))
+    return TransferCurve(w_in, w_out)
+
+
+class TestRegionDetection:
+    def test_dampened_limit(self):
+        curve = synthetic_curve()
+        assert curve.dampened_limit() == pytest.approx(0.2e-9, abs=0.06e-9)
+
+    def test_region3_onset(self):
+        curve = synthetic_curve()
+        onset = curve.region3_onset()
+        assert onset == pytest.approx(0.4e-9, abs=0.06e-9)
+
+    def test_attenuation_span_ordered(self):
+        start, end = synthetic_curve().attenuation_span()
+        assert start < end
+
+    def test_all_propagating_curve_has_no_dead_zone(self):
+        w = np.linspace(0.1e-9, 0.5e-9, 5)
+        curve = TransferCurve(w, w)
+        assert curve.dampened_limit() == 0.0
+        assert curve.region3_onset() is not None
+
+    def test_all_dead_curve_has_no_onset(self):
+        w = np.linspace(0.1e-9, 0.5e-9, 5)
+        curve = TransferCurve(w, np.zeros(5))
+        assert curve.region3_onset() is None
+
+    def test_interpolate(self):
+        curve = synthetic_curve()
+        assert curve.interpolate(0.6e-9) == pytest.approx(0.55e-9,
+                                                          rel=0.02)
+
+    def test_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            TransferCurve([1e-9, 2e-9], [1e-9])
+
+    def test_rejects_nonmonotone_grid(self):
+        with pytest.raises(ValueError):
+            TransferCurve([2e-9, 1e-9], [0.0, 0.0])
+
+
+class TestRecommendedWin:
+    def test_adds_margin_past_onset(self):
+        curve = synthetic_curve()
+        w = recommended_w_in(curve, margin=0.05e-9)
+        assert w == pytest.approx(curve.region3_onset() + 0.05e-9)
+
+    def test_raises_without_asymptote(self):
+        w = np.linspace(0.1e-9, 0.5e-9, 5)
+        curve = TransferCurve(w, np.zeros(5))
+        with pytest.raises(ValueError):
+            recommended_w_in(curve)
+
+
+class TestRealCurve:
+    """On the session-scoped electrically measured curve."""
+
+    def test_three_regions_exist(self, nominal_transfer_curve):
+        curve = nominal_transfer_curve
+        assert curve.dampened_limit() > 0.1e-9
+        onset = curve.region3_onset()
+        assert onset is not None
+        assert onset > curve.dampened_limit()
+
+    def test_w_out_monotone(self, nominal_transfer_curve):
+        w = nominal_transfer_curve.w_out
+        assert all(b >= a - 1e-12 for a, b in zip(w, w[1:]))
+
+    def test_asymptotic_slope_near_unity(self, nominal_transfer_curve):
+        slopes = nominal_transfer_curve.slopes()
+        assert abs(slopes[-1] - 1.0) < 0.25
+
+    def test_output_never_exceeds_input_plus_margin(
+            self, nominal_transfer_curve):
+        curve = nominal_transfer_curve
+        assert np.all(curve.w_out <= curve.w_in + 0.1e-9)
+
+
+class TestMinimumPropagatable:
+    def test_bisection_brackets_dampened_limit(self, tech, test_dt):
+        path = build_path(tech=tech)
+        w_min = minimum_propagatable_width(path, lo=0.1e-9, hi=0.6e-9,
+                                           tol=10e-12, dt=test_dt)
+        assert 0.2e-9 < w_min < 0.35e-9
+
+    def test_result_actually_propagates(self, tech, test_dt):
+        from repro.core import measure_output_pulse
+        path = build_path(tech=tech)
+        w_min = minimum_propagatable_width(path, lo=0.1e-9, hi=0.6e-9,
+                                           tol=10e-12, dt=test_dt)
+        w_out, _ = measure_output_pulse(path, w_min, dt=test_dt)
+        assert w_out > 0.0

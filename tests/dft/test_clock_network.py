@@ -1,0 +1,102 @@
+"""Clock-tree skew model tests."""
+
+import numpy as np
+import pytest
+
+from repro.dft import FlipFlopTiming
+from repro.dft.clock_network import (ClockTree, calibrate_t_star_with_tree,
+                                     farthest_leaf_pair)
+from repro.montecarlo import NominalModel, VariationModel, sample_population
+
+
+class TestStructure:
+    def test_leaf_count(self):
+        assert ClockTree(depth=4).n_leaves == 16
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClockTree(depth=0)
+        with pytest.raises(ValueError):
+            ClockTree(buffer_delay=0.0)
+
+    def test_leaf_bounds(self):
+        tree = ClockTree(depth=3)
+        with pytest.raises(ValueError):
+            tree.leaf_delay(8)
+
+
+class TestNominalDelays:
+    def test_nominal_insertion_delay(self):
+        tree = ClockTree(depth=4, buffer_delay=70e-12)
+        assert tree.leaf_delay(5) == pytest.approx(4 * 70e-12)
+
+    def test_nominal_skew_zero(self):
+        tree = ClockTree(depth=4)
+        assert tree.skew(0, 15) == pytest.approx(0.0)
+        assert tree.skew(0, 15, NominalModel()) == pytest.approx(0.0)
+
+
+class TestFluctuatedSkew:
+    def test_deterministic_per_sample(self):
+        tree = ClockTree(depth=4)
+        s = VariationModel(seed=5)
+        assert tree.skew(0, 15, s) == tree.skew(
+            0, 15, VariationModel(seed=5))
+
+    def test_sibling_leaves_share_most_buffers(self):
+        """Adjacent leaves share all buffers but the last level, so
+        their skew spread is much smaller than disjoint branches'."""
+        tree = ClockTree(depth=5)
+        samples = sample_population(30, base_seed=2)
+        near = np.std(tree.skew_population(samples, 0, 1))
+        far = np.std(tree.skew_population(samples, 0,
+                                          tree.n_leaves - 1))
+        assert far > 1.5 * near
+
+    def test_skew_antisymmetric(self):
+        tree = ClockTree(depth=4)
+        s = VariationModel(seed=9)
+        assert tree.skew(3, 12, s) == pytest.approx(-tree.skew(12, 3, s))
+
+    def test_applied_period_includes_skew(self):
+        tree = ClockTree(depth=3)
+        s = VariationModel(seed=9)
+        t = tree.applied_period(1e-9, 0, 7, s)
+        assert t == pytest.approx(1e-9 + tree.skew(0, 7, s))
+
+    def test_farthest_pair(self):
+        tree = ClockTree(depth=4)
+        launch, capture = farthest_leaf_pair(tree)
+        assert (launch, capture) == (0, 15)
+
+
+class TestTreeCalibration:
+    def test_no_false_positive_under_any_sampled_skew(self):
+        tree = ClockTree(depth=4)
+        ff = FlipFlopTiming()
+        samples = sample_population(20, base_seed=4)
+        delays = [800e-12] * len(samples)
+        test = calibrate_t_star_with_tree(delays, samples, ff, tree, 0,
+                                          15)
+        for d, s in zip(delays, samples):
+            applied = tree.applied_period(test.t_star, 0, 15, s)
+            assert applied >= d + ff.sampled_overhead(s) - 1e-15
+
+    def test_tree_calibration_costs_coverage(self):
+        """The explicit skew margin forces a larger T* than the no-skew
+        calibration — the paper's quality-vs-yield trade-off."""
+        from repro.dft import calibrate_t_star
+        tree = ClockTree(depth=5, buffer_delay=90e-12)
+        ff = FlipFlopTiming()
+        samples = sample_population(20, base_seed=4)
+        delays = [800e-12] * len(samples)
+        plain = calibrate_t_star(delays, samples, ff, skew_tolerance=0.0)
+        with_tree = calibrate_t_star_with_tree(delays, samples, ff, tree,
+                                               0, 31)
+        assert with_tree.t_star >= plain.t_star
+
+    def test_misaligned_inputs_rejected(self):
+        tree = ClockTree(depth=2)
+        with pytest.raises(ValueError):
+            calibrate_t_star_with_tree([1e-9], sample_population(2),
+                                       FlipFlopTiming(), tree, 0, 3)

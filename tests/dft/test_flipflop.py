@@ -1,0 +1,44 @@
+"""Flip-flop timing model tests."""
+
+import pytest
+
+from repro.dft import FlipFlopTiming
+from repro.montecarlo import NominalModel, VariationModel
+
+
+class TestFlipFlopTiming:
+    def test_nominal_overhead(self):
+        ff = FlipFlopTiming(tau_cq=80e-12, tau_dc=60e-12)
+        assert ff.nominal_overhead == pytest.approx(140e-12)
+
+    def test_sampled_without_sample_is_nominal(self):
+        ff = FlipFlopTiming()
+        assert ff.sampled_overhead(None) == ff.nominal_overhead
+
+    def test_nominal_model_gives_nominal(self):
+        ff = FlipFlopTiming()
+        assert ff.sampled_overhead(NominalModel()) == ff.nominal_overhead
+
+    def test_sampled_overhead_fluctuates(self):
+        ff = FlipFlopTiming()
+        values = {ff.sampled_overhead(VariationModel(seed=s))
+                  for s in range(5)}
+        assert len(values) == 5  # all differ
+
+    def test_sampled_overhead_deterministic(self):
+        ff = FlipFlopTiming()
+        s = VariationModel(seed=4)
+        assert ff.sampled_overhead(s) == ff.sampled_overhead(
+            VariationModel(seed=4))
+
+    def test_fluctuation_bounded(self):
+        ff = FlipFlopTiming()
+        for s in range(30):
+            overhead = ff.sampled_overhead(
+                VariationModel(seed=s, sigma_timing=0.05))
+            assert 0.85 * ff.nominal_overhead < overhead < (
+                1.15 * ff.nominal_overhead)
+
+    def test_rejects_negative_timing(self):
+        with pytest.raises(ValueError):
+            FlipFlopTiming(tau_cq=-1e-12)

@@ -1,0 +1,81 @@
+"""Transition-ordering baseline tests."""
+
+import pytest
+
+from repro.dft import (OrderingTest, build_dual_path,
+                       calibrate_ordering_test, ordering_coverage,
+                       output_arrival, sweep_ordering_measurements)
+from repro.faults import ExternalOpen
+from repro.montecarlo import NominalModel, sample_population
+
+DT = 5e-12
+
+
+class TestDualPath:
+    def test_lengths(self):
+        dual = build_dual_path(length_a=5, length_b=7)
+        assert dual.path_a.n_gates == 5
+        assert dual.path_b.n_gates == 7
+
+    def test_shared_die_variation(self):
+        from repro.montecarlo import VariationModel
+        sample = VariationModel(seed=11)
+        dual = build_dual_path(sample=sample)
+        # both chains carry the same die-to-die technology factors
+        assert dual.path_a.tech.kpn == pytest.approx(
+            dual.path_b.tech.kpn)
+
+    def test_shorter_path_arrives_first(self):
+        dual = build_dual_path(sample=NominalModel())
+        t_a = output_arrival(dual.path_a, dt=DT)
+        t_b = output_arrival(dual.path_b, dt=DT)
+        assert t_a < t_b
+
+
+class TestOrderingDecision:
+    def test_healthy_order_passes(self):
+        test = OrderingTest(nominal_gap=200e-12, guard=150e-12)
+        assert not test.detects(1.0e-9, 1.2e-9)
+
+    def test_flip_detected(self):
+        test = OrderingTest(nominal_gap=200e-12, guard=150e-12)
+        assert test.detects(1.3e-9, 1.2e-9)
+
+    def test_missing_victim_transition_detected(self):
+        test = OrderingTest(200e-12, 150e-12)
+        assert test.detects(None, 1.2e-9)
+
+    def test_missing_reference_not_attributed(self):
+        test = OrderingTest(200e-12, 150e-12)
+        assert not test.detects(1.0e-9, None)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return sample_population(4, base_seed=3)
+
+    def test_positive_guard(self, samples):
+        test = calibrate_ordering_test(samples, dt=DT)
+        assert test.guard > 0.0
+        assert test.nominal_gap >= test.guard
+
+    def test_too_fine_ordering_rejected(self, samples):
+        """Equal-length paths: fluctuations flip the order on some
+        healthy instance — the paper's 'too close' caveat."""
+        with pytest.raises(ValueError):
+            calibrate_ordering_test(samples, length_a=7, length_b=7,
+                                    dt=DT)
+
+
+class TestCoverage:
+    def test_coverage_monotone_and_reaches_one(self):
+        samples = sample_population(3, base_seed=3)
+        test = calibrate_ordering_test(samples, dt=DT)
+        resistances = [2e3, 16e3, 60e3]
+        raw = sweep_ordering_measurements(
+            samples, lambda r: ExternalOpen(2, r), resistances, dt=DT)
+        coverage = ordering_coverage(raw, resistances, test)
+        assert all(b >= a for a, b in zip(coverage, coverage[1:]))
+        assert coverage[0] == 0.0    # small defect hides in the gap
+        assert coverage[-1] == 1.0   # gross defect flips the order

@@ -1,0 +1,80 @@
+"""Reduced-clock DF-testing baseline tests."""
+
+import math
+
+import pytest
+
+from repro.dft import DelayFaultTest, FlipFlopTiming, calibrate_t_star
+from repro.montecarlo import sample_population
+
+
+@pytest.fixture()
+def ff():
+    return FlipFlopTiming(tau_cq=80e-12, tau_dc=60e-12)
+
+
+class TestDelayFaultTest:
+    def test_applied_period_scales(self, ff):
+        test = DelayFaultTest(1e-9, ff)
+        assert test.applied_period(0.9) == pytest.approx(0.9e-9)
+        assert test.applied_period(1.1) == pytest.approx(1.1e-9)
+
+    def test_detects_slow_path(self, ff):
+        test = DelayFaultTest(1e-9, ff)
+        # d + 140ps overhead > 1ns -> detected
+        assert test.detects(900e-12)
+
+    def test_passes_fast_path(self, ff):
+        test = DelayFaultTest(1e-9, ff)
+        assert not test.detects(700e-12)
+
+    def test_infinite_delay_always_detected(self, ff):
+        test = DelayFaultTest(1e-9, ff)
+        assert test.detects(math.inf)
+        assert test.detects(math.inf, t_factor=1.1)
+
+    def test_larger_period_detects_less(self, ff):
+        test = DelayFaultTest(1e-9, ff)
+        d = 900e-12
+        assert test.detects(d, t_factor=0.9)
+        assert test.detects(d, t_factor=1.0)
+        assert not test.detects(d, t_factor=1.1)
+
+    def test_rejects_bad_args(self, ff):
+        with pytest.raises(ValueError):
+            DelayFaultTest(0.0, ff)
+        with pytest.raises(ValueError):
+            DelayFaultTest(1e-9, ff, skew_tolerance=1.0)
+
+
+class TestCalibration:
+    def test_no_false_positive_at_worst_droop(self, ff):
+        samples = sample_population(10, base_seed=5)
+        delays = [750e-12 + 10e-12 * i for i in range(10)]
+        test = calibrate_t_star(delays, samples, ff, skew_tolerance=0.1)
+        # even with the clock 10% low, every fault-free instance passes
+        for d, s in zip(delays, samples):
+            assert not test.detects(d, sample=s, t_factor=0.9)
+
+    def test_t_star_is_tight(self, ff):
+        """T* is the smallest period meeting the yield constraint: the
+        worst instance sits exactly at the 0.9*T* boundary."""
+        samples = sample_population(5, base_seed=2)
+        delays = [800e-12] * 5
+        test = calibrate_t_star(delays, samples, ff, skew_tolerance=0.1)
+        worst = max(d + ff.sampled_overhead(s)
+                    for d, s in zip(delays, samples))
+        assert 0.9 * test.t_star == pytest.approx(worst)
+
+    def test_misaligned_inputs_rejected(self, ff):
+        with pytest.raises(ValueError):
+            calibrate_t_star([1e-9], sample_population(2), ff)
+
+    def test_empty_rejected(self, ff):
+        with pytest.raises(ValueError):
+            calibrate_t_star([], [], ff)
+
+    def test_broken_structure_rejected(self, ff):
+        samples = sample_population(2)
+        with pytest.raises(ValueError):
+            calibrate_t_star([1e-9, math.inf], samples, ff)

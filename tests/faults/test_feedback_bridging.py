@@ -1,0 +1,115 @@
+"""Feedback-bridging tests and the simulator's oscillation capability.
+
+Sec. 2: low-resistance bridgings "give rise to functional errors or
+oscillations (in case they close inverting feedback loops)" and "are
+supposed to be detected by functional testing".  In this technology the
+bridged loop resolves to the *latching* (functional-error) mode: the
+forward driver and the fed-back signal fight to a metastable mid-rail
+level.  A genuine enabled ring oscillator verifies that the simulator
+does sustain oscillation when the loop is undriven.
+"""
+
+import pytest
+
+from repro.cells import (build_inverter, build_nand, build_path,
+                         default_technology)
+from repro.faults import FeedbackBridgingFault, inject
+from repro.spice import Circuit, Pulse, run_transient
+
+DT = 4e-12
+
+
+class TestSpec:
+    def test_fields_and_loop_length(self):
+        f = FeedbackBridgingFault(2, 5, 1e3)
+        assert f.loop_length == 3
+
+    def test_rejects_non_forward_loop(self):
+        with pytest.raises(ValueError):
+            FeedbackBridgingFault(5, 2, 1e3)
+
+    def test_with_resistance(self):
+        f = FeedbackBridgingFault(2, 5, 1e3).with_resistance(4e3)
+        assert f.resistance == 4e3
+        assert f.loop_length == 3
+
+
+class TestInjection:
+    def test_bridge_spans_the_two_stage_nodes(self):
+        path = build_path()
+        faulty = inject(path, FeedbackBridgingFault(2, 5, 1e3))
+        bridge = faulty.circuit.element("R_fault")
+        assert set(bridge.nodes()) == {"a2", "a5"}
+
+    def test_to_stage_bound_checked(self):
+        path = build_path()
+        from repro.spice.errors import NetlistError
+        with pytest.raises(NetlistError):
+            inject(path, FeedbackBridgingFault(2, 9, 1e3))
+
+
+class TestElectricalModes:
+    def run_pulse(self, resistance):
+        path = build_path()
+        faulty = inject(path, FeedbackBridgingFault(2, 5, resistance))
+        faulty.set_input_pulse(0.42e-9, kind="h")
+        wf = run_transient(faulty.circuit, 8e-9, DT,
+                           record=["a2", "a7"])
+        return faulty, wf
+
+    def test_low_r_latches_to_functional_error(self):
+        """A hard feedback bridge drags the loop node to a metastable
+        mid-rail level: a static logic error, caught by functional
+        testing as the paper states."""
+        faulty, wf = self.run_pulse(500.0)
+        vdd = faulty.tech.vdd
+        final = wf.value_at("a2", 7.9e-9)
+        assert 0.2 * vdd < final < 0.8 * vdd  # neither rail: error
+
+    def test_high_r_is_benign_statically(self):
+        faulty, wf = self.run_pulse(30e3)
+        vdd = faulty.tech.vdd
+        final = wf.value_at("a2", 7.9e-9)
+        assert final < 0.2 * vdd  # back at its healthy idle value
+
+    def test_degradation_monotone_in_r(self):
+        finals = []
+        for r in (500.0, 2e3, 30e3):
+            _, wf = self.run_pulse(r)
+            finals.append(wf.value_at("a2", 7.9e-9))
+        assert finals[0] > finals[1] > finals[2]
+
+
+class TestRingOscillation:
+    """The simulator sustains oscillation when a loop is undriven."""
+
+    @pytest.fixture(scope="class")
+    def ring_waveform(self):
+        tech = default_technology()
+        c = Circuit("ring")
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        c.add_vsource("VEN", "en", "0",
+                      Pulse(0, tech.vdd, delay=0.5e-9, rise=60e-12,
+                            width=1.0))
+        build_nand(c, "g1", ["en", "fb"], "n1", tech)
+        build_inverter(c, "g2", "n1", "n2", tech)
+        build_inverter(c, "g3", "n2", "fb", tech)
+        return tech, run_transient(c, 6e-9, DT, record=["fb"])
+
+    def test_oscillates_once_enabled(self, ring_waveform):
+        tech, wf = ring_waveform
+        assert wf.is_oscillating("fb", tech.vdd_half, after=2e-9)
+
+    def test_quiet_before_enable(self, ring_waveform):
+        tech, wf = ring_waveform
+        assert wf.oscillation_count("fb", tech.vdd_half, after=0.0) > (
+            wf.oscillation_count("fb", tech.vdd_half, after=2e-9))
+        assert wf.value_at("fb", 0.3e-9) > tech.vdd - 0.3
+
+    def test_period_scales_with_stage_delays(self, ring_waveform):
+        import numpy as np
+        tech, wf = ring_waveform
+        crossings = wf.crossing_times("fb", tech.vdd_half)
+        half_periods = np.diff(crossings[-6:])
+        # 3-stage loop: half period ~ 3 gate delays (~80 ps each)
+        assert 100e-12 < half_periods.mean() < 600e-12

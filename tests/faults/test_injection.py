@@ -1,0 +1,126 @@
+"""Electrical fault-injection tests.
+
+Structural checks are cheap; a few electrical checks verify the injected
+defects actually produce the paper's Sec. 2 behaviours.
+"""
+
+import pytest
+
+from repro.cells import build_path
+from repro.faults import (BridgingFault, ExternalOpen, InternalOpen,
+                          PULL_DOWN, PULL_UP, inject, set_fault_resistance)
+from repro.spice import operating_point, run_transient
+from repro.spice.errors import NetlistError
+
+DT = 4e-12
+
+
+@pytest.fixture()
+def path():
+    return build_path()
+
+
+def measure_wout(p, w_in=0.4e-9):
+    p.set_input_pulse(w_in, kind="h")
+    wf = run_transient(p.circuit, 5e-9, DT, record=["a7"])
+    return wf.widest_pulse("a7", p.tech.vdd_half, polarity="low")
+
+
+class TestStructuralInjection:
+    def test_original_path_untouched(self, path):
+        inject(path, InternalOpen(2, PULL_UP, 8e3))
+        assert "R_fault" not in path.circuit
+
+    def test_internal_open_rewires_rail(self, path):
+        faulty = inject(path, InternalOpen(2, PULL_UP, 8e3))
+        mp = faulty.circuit.element("g2.MP")
+        assert mp.node("s") != "vdd"
+        assert faulty.circuit.element("R_fault").resistance == 8e3
+
+    def test_internal_open_pulldown_rewires_ground(self, path):
+        faulty = inject(path, InternalOpen(3, PULL_DOWN, 8e3))
+        mn = faulty.circuit.element("g3.MN")
+        assert mn.node("s") != "0"
+
+    def test_external_open_moves_next_gate_only(self, path):
+        faulty = inject(path, ExternalOpen(2, 8e3))
+        g3_in = faulty.circuit.element("g3.MN").node("g")
+        assert g3_in != "a2"
+        # side fan-out inverter stays on the healthy segment
+        assert faulty.circuit.element("g2s.MN").node("g") == "a2"
+
+    def test_external_open_splits_wire_cap(self, path):
+        faulty = inject(path, ExternalOpen(2, 8e3))
+        near = faulty.circuit.element("g2.cw").capacitance
+        far = faulty.circuit.element("R_fault.cw").capacitance
+        assert near == pytest.approx(far)  # 50/50 split by default
+        assert near + far == pytest.approx(path.tech.c_wire)
+
+    def test_external_open_on_last_stage_rejected(self, path):
+        with pytest.raises(NetlistError):
+            inject(path, ExternalOpen(7, 8e3))
+
+    def test_bridging_adds_aggressor_inverter(self, path):
+        faulty = inject(path, BridgingFault(2, 2e3))
+        assert "gbf.MN" in faulty.circuit
+        bridge = faulty.circuit.element("R_fault")
+        assert "a2" in bridge.nodes()
+
+    def test_bridging_auto_aggressor_opposes_excursion(self, path):
+        # a2 idles low for a kind='h' pulse; the aggressor must hold low
+        # to fight the rising excursion.
+        faulty = inject(path, BridgingFault(2, 2e3))
+        op = operating_point(faulty.circuit)
+        agg_node = [n for n in faulty.circuit.element("R_fault").nodes()
+                    if n != "a2"][0]
+        assert op[agg_node] == pytest.approx(0.0, abs=0.05)
+
+    def test_set_fault_resistance(self, path):
+        faulty = inject(path, ExternalOpen(2, 1e3))
+        set_fault_resistance(faulty, 9e3)
+        assert faulty.circuit.element("R_fault").resistance == 9e3
+
+    def test_set_fault_resistance_rejects_nonpositive(self, path):
+        faulty = inject(path, ExternalOpen(2, 1e3))
+        with pytest.raises(NetlistError):
+            set_fault_resistance(faulty, 0.0)
+
+    def test_unknown_fault_type_rejected(self, path):
+        with pytest.raises(NetlistError):
+            inject(path, object())
+
+
+class TestElectricalBehaviour:
+    """Sec. 2 behaviours, one transient each (kept few and coarse)."""
+
+    def test_internal_open_dampens_pulse(self, path):
+        w_ff = measure_wout(path)
+        w_faulty = measure_wout(inject(path, InternalOpen(2, PULL_UP, 8e3)))
+        assert w_ff > 0.3e-9
+        assert w_faulty == 0.0  # Fig. 2: dampened in a few logic levels
+
+    def test_internal_more_severe_than_external(self, path):
+        w_int = measure_wout(inject(path, InternalOpen(2, PULL_UP, 8e3)))
+        w_ext = measure_wout(inject(path, ExternalOpen(2, 8e3)))
+        assert w_int < w_ext  # paper: internal ROPs more relevant
+
+    def test_external_open_shrinks_with_resistance(self, path):
+        faulty = inject(path, ExternalOpen(2, 4e3))
+        w_small = measure_wout(faulty)
+        set_fault_resistance(faulty, 20e3)
+        w_large = measure_wout(faulty)
+        assert w_large < w_small
+
+    def test_bridging_dampens_at_moderate_resistance(self, path):
+        w = measure_wout(inject(path, BridgingFault(2, 2.5e3)))
+        assert w == 0.0  # Fig. 5: incomplete pulse dies
+
+    def test_bridging_recovers_at_large_resistance(self, path):
+        w = measure_wout(inject(path, BridgingFault(2, 50e3)))
+        assert w > 0.25e-9
+
+    def test_dc_levels_unchanged_by_external_open(self, path):
+        # An open does not alter static logic values, only dynamics.
+        faulty = inject(path, ExternalOpen(2, 20e3))
+        op = operating_point(faulty.circuit)
+        assert op["a7"] == pytest.approx(path.tech.vdd, abs=0.05)

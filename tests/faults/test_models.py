@@ -1,0 +1,65 @@
+"""Fault-spec tests."""
+
+import pytest
+
+from repro.faults import (BridgingFault, ExternalOpen, InternalOpen,
+                          PULL_DOWN, PULL_UP)
+
+
+class TestInternalOpen:
+    def test_fields(self):
+        f = InternalOpen(2, PULL_UP, 8e3)
+        assert f.stage == 2
+        assert f.network == PULL_UP
+        assert f.resistance == 8e3
+
+    def test_with_resistance_copies(self):
+        f = InternalOpen(2, PULL_DOWN, 1e3)
+        g = f.with_resistance(5e3)
+        assert g.resistance == 5e3
+        assert g.network == PULL_DOWN
+        assert f.resistance == 1e3
+
+    def test_rejects_bad_network(self):
+        with pytest.raises(ValueError):
+            InternalOpen(2, "sideways", 1e3)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            InternalOpen(2, PULL_UP, 0.0)
+
+    def test_describe_mentions_network(self):
+        assert "pullup" in InternalOpen(2, PULL_UP, 1e3).describe()
+
+
+class TestExternalOpen:
+    def test_fields(self):
+        f = ExternalOpen(3, 2e3)
+        assert f.stage == 3
+        assert f.resistance == 2e3
+
+    def test_with_resistance(self):
+        assert ExternalOpen(3, 1e3).with_resistance(9e3).resistance == 9e3
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            ExternalOpen(3, -1.0)
+
+
+class TestBridgingFault:
+    def test_default_aggressor_auto(self):
+        f = BridgingFault(2, 2e3)
+        assert f.aggressor_value is None
+        assert "auto" in f.describe()
+
+    def test_explicit_aggressor(self):
+        f = BridgingFault(2, 2e3, aggressor_value=1)
+        assert f.aggressor_value == 1
+
+    def test_rejects_bad_aggressor(self):
+        with pytest.raises(ValueError):
+            BridgingFault(2, 2e3, aggressor_value=2)
+
+    def test_with_resistance_keeps_aggressor(self):
+        f = BridgingFault(2, 2e3, aggressor_value=0)
+        assert f.with_resistance(4e3).aggressor_value == 0

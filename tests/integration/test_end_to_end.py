@@ -1,0 +1,121 @@
+"""End-to-end integration: tiny versions of the paper's experiments.
+
+These are the most expensive tests in the suite — small populations,
+coarse time step — and they assert the *shape* claims each figure makes.
+"""
+
+import pytest
+
+from repro.core import (ExperimentConfig, run_bridging_coverage,
+                        run_open_coverage, run_waveform_experiment)
+from repro.core.coverage import detected_fraction_is_monotonic
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        n_samples=4, dt=5e-12, seed=21,
+        rop_resistances=[2e3, 8e3, 20e3, 50e3],
+        bridging_resistances=[1.5e3, 4e3, 12e3, 40e3])
+
+
+@pytest.fixture(scope="module")
+def open_result(tiny_config):
+    return run_open_coverage(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def bridging_result(tiny_config):
+    return run_bridging_coverage(tiny_config)
+
+
+class TestWaveformFigures:
+    def test_fig2_internal_rop_dampens(self):
+        exp = run_waveform_experiment("internal_rop", 8e3,
+                                      config=ExperimentConfig(dt=5e-12))
+        assert exp.dampened_at_output()
+
+    def test_fig5_bridging_dampens(self):
+        exp = run_waveform_experiment("bridging", 2.5e3,
+                                      config=ExperimentConfig(dt=5e-12))
+        assert exp.dampened_at_output()
+
+    def test_fault_free_pulse_survives_everywhere(self):
+        exp = run_waveform_experiment("internal_rop", 8e3,
+                                      config=ExperimentConfig(dt=5e-12))
+        for node in exp.nodes[1:]:
+            assert exp.excursion(exp.fault_free, node) > 0.8 * exp.vdd
+
+
+class TestFig6And7Opens:
+    def test_both_methods_reach_full_coverage(self, open_result):
+        for result in (open_result.pulse, open_result.delay):
+            for label in result.labels():
+                assert result.curve(label).coverage[-1] == 1.0
+
+    def test_open_coverage_monotone_in_r(self, open_result):
+        for label in open_result.pulse.labels():
+            assert detected_fraction_is_monotonic(
+                open_result.pulse.curve(label), tolerance=0.26)
+        for label in open_result.delay.labels():
+            assert detected_fraction_is_monotonic(
+                open_result.delay.curve(label), tolerance=0.26)
+
+    def test_tighter_settings_detect_more(self, open_result):
+        """0.9*T detects at least as much as 1.1*T everywhere; 1.1*w_th
+        at least as much as 0.9*w_th."""
+        d = open_result.delay
+        for c_tight, c_loose in zip(d.curve("0.9*T").coverage,
+                                    d.curve("1.1*T").coverage):
+            assert c_tight >= c_loose
+        p = open_result.pulse
+        for c_tight, c_loose in zip(p.curve("1.1*w_th").coverage,
+                                    p.curve("0.9*w_th").coverage):
+            assert c_tight >= c_loose
+
+    def test_clock_spread_wider_than_sensing_spread(self, open_result):
+        """The paper's robustness claim: DF-testing coverage moves more
+        under +-10% clock variation than pulse coverage moves under
+        +-10% sensing variation (integrated over the R grid)."""
+        d = open_result.delay
+        p = open_result.pulse
+        spread_del = sum(
+            a - b for a, b in zip(d.curve("0.9*T").coverage,
+                                  d.curve("1.1*T").coverage))
+        spread_pulse = sum(
+            a - b for a, b in zip(p.curve("1.1*w_th").coverage,
+                                  p.curve("0.9*w_th").coverage))
+        assert spread_del >= spread_pulse
+
+
+class TestFig8And9Bridging:
+    def test_cdel_decays_with_r(self, bridging_result):
+        """Fig. 8: bridging delay defects shrink as R grows, so C_del
+        falls off; the nominal curve must not be monotone increasing
+        once past its peak, and must end low."""
+        curve = bridging_result.delay.curve("1.0*T")
+        peak = max(curve.coverage)
+        assert peak > 0.0
+        assert curve.coverage[-1] < peak or peak == 0.0
+
+    def test_cpulse_beats_cdel_for_bridging(self, bridging_result):
+        """Fig. 9 vs Fig. 8: the proposed method dominates reduced-clock
+        testing over the bridging R band (integrated coverage)."""
+        pulse = bridging_result.pulse.curve("1.0*w_th").coverage
+        delay = bridging_result.delay.curve("1.0*T").coverage
+        assert sum(pulse) > sum(delay)
+
+    def test_pulse_detects_bridging_where_delay_misses(self,
+                                                       bridging_result):
+        pulse = bridging_result.pulse.curve("1.0*w_th").coverage
+        delay = bridging_result.delay.curve("1.0*T").coverage
+        assert any(p > d for p, d in zip(pulse, delay))
+
+
+class TestCalibrationQuality:
+    def test_no_false_positives_at_nominal(self, open_result):
+        """At R -> 0 an external open is invisible; coverage at the
+        smallest R must stay below 50% at nominal settings (the yield
+        constraint in action)."""
+        assert open_result.pulse.curve(
+            "1.0*w_th").coverage[0] <= 0.5

@@ -1,0 +1,84 @@
+"""Cross-substrate consistency: the logic-level pulse machinery must
+agree qualitatively with the electrical simulator it abstracts."""
+
+import pytest
+
+from repro.cells import build_path
+from repro.core import measure_output_pulse, minimum_propagatable_width
+from repro.logic import (DefectCalibration, GatePulseModel, PathPulseModel,
+                         calibrate_gate_model)
+
+DT = 5e-12
+
+
+class TestGateModelCalibration:
+    @pytest.fixture(scope="class")
+    def inv_model(self):
+        return calibrate_gate_model("inv", dt=DT)
+
+    def test_seven_stage_composition_predicts_path_threshold(
+            self, inv_model):
+        """Composing seven calibrated single-gate models predicts the
+        electrically measured 7-gate path threshold to within a factor
+        of ~3, always on the optimistic side.
+
+        The analytic model ignores slew interaction between stages (the
+        paper: propagation "typically depends on small segments", not
+        single gates), so composition systematically under-estimates the
+        chain threshold; it is a *screening* model whose value is the
+        relative ordering of candidate paths, not absolute widths.
+        """
+        model = PathPulseModel([inv_model] * 7)
+        predicted = model.minimum_propagatable()
+        path = build_path()
+        measured = minimum_propagatable_width(path, lo=0.1e-9, hi=0.8e-9,
+                                              tol=10e-12, dt=DT)
+        assert predicted <= measured          # optimism direction
+        assert measured / predicted < 3.0     # same order of magnitude
+
+    def test_asymptotic_widths_agree(self, inv_model):
+        """In the asymptotic region both levels should pass wide pulses
+        essentially unattenuated."""
+        model = PathPulseModel([inv_model] * 7)
+        w_in = 0.6e-9
+        predicted = model.transfer(w_in)
+        path = build_path()
+        measured, _ = measure_output_pulse(path, w_in, dt=DT)
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+
+class TestDefectCalibrationElectrical:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        return DefectCalibration.from_electrical(
+            "external", [2e3, 10e3, 30e3], dt=DT)
+
+    def test_theta_shift_monotone_in_r(self, calibration):
+        shifts = list(calibration.theta_shift)
+        assert all(b >= a - 1e-12 for a, b in zip(shifts, shifts[1:]))
+
+    def test_edge_delays_monotone_in_r(self, calibration):
+        rises = list(calibration.extra_rise)
+        assert all(b >= a - 1e-12 for a, b in zip(rises, rises[1:]))
+
+    def test_external_open_affects_both_edges(self, calibration):
+        """Fig. 1b: an external open slows rising AND falling branch
+        transitions (unlike internal opens)."""
+        assert calibration.extra_rise[-1] > 0.0
+        assert calibration.extra_fall[-1] > 0.0
+
+    def test_internal_open_affects_one_edge_mainly(self):
+        cal = DefectCalibration.from_electrical(
+            "internal_pullup", [4e3, 12e3], dt=DT)
+        # The pull-up open slows the path's rising launch... at the path
+        # level, one input polarity is hit much harder than the other.
+        assert max(cal.extra_rise[-1], cal.extra_fall[-1]) > 3 * max(
+            min(cal.extra_rise[-1], cal.extra_fall[-1]), 1e-12)
+
+    def test_synthetic_faulted_model_dampens(self, calibration):
+        gate = GatePulseModel(theta=100e-12, span=60e-12, delta=5e-12)
+        model = PathPulseModel([gate] * 7)
+        w_in = model.region3_onset() + 30e-12
+        healthy = model.transfer(w_in)
+        faulted = calibration.apply_to_path_model(model, 1, 30e3)
+        assert faulted.transfer(w_in) < healthy

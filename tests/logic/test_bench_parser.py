@@ -1,0 +1,70 @@
+"""ISCAS-85 .bench parser/writer tests."""
+
+import pytest
+
+from repro.logic import c17, parse_bench, write_bench
+
+
+class TestParsing:
+    def test_simple_circuit(self):
+        text = """
+        # comment line
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        y = NAND(a, b)
+        """
+        n = parse_bench(text)
+        assert n.primary_inputs == ["a", "b"]
+        assert n.primary_outputs == ["y"]
+        assert n.gate_driving("y").kind == "nand"
+
+    def test_whitespace_and_case_tolerance(self):
+        text = "input( x )\noutput( y )\ny = Not(x)"
+        n = parse_bench(text)
+        assert n.primary_inputs == ["x"]
+        assert n.gate_driving("y").kind == "not"
+
+    def test_buff_alias(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)"
+        assert parse_bench(text).gate_driving("y").kind == "buf"
+
+    def test_inline_comments_stripped(self):
+        text = "INPUT(a)  # the input\nOUTPUT(y)\ny = NOT(a) # invert"
+        assert parse_bench(text).n_gates == 1
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\ny = FROB(a)")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\nthis is not bench")
+
+    def test_undriven_net_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)")
+
+
+class TestRoundTrip:
+    def test_c17_roundtrip_preserves_behaviour(self):
+        original = c17()
+        text = write_bench(original)
+        reparsed = parse_bench(text)
+        assert reparsed.primary_inputs == original.primary_inputs
+        assert reparsed.primary_outputs == original.primary_outputs
+        assert reparsed.n_gates == original.n_gates
+        # behavioural equivalence on every input vector (2^5 = 32)
+        import itertools
+        for bits in itertools.product((0, 1), repeat=5):
+            vector = dict(zip(original.primary_inputs, bits))
+            a = original.evaluate(vector)
+            b = reparsed.evaluate(vector)
+            for po in original.primary_outputs:
+                assert a[po] == b[po]
+
+    def test_written_text_contains_declarations(self):
+        text = write_bench(c17())
+        assert "INPUT(G1)" in text
+        assert "OUTPUT(G23)" in text
+        assert "G10 = NAND(G1, G3)" in text

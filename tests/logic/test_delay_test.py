@@ -1,0 +1,152 @@
+"""Logic-level DF-testing (STA + calibration) tests."""
+
+import pytest
+
+from repro.dft import FlipFlopTiming, DelayFaultTest
+from repro.logic import (DefectCalibration, GateTiming, arrival_times,
+                         calibrate_logic_delay_test, critical_delay,
+                         df_best_r_min_for_site,
+                         df_minimum_detectable_resistance, edge_at_net,
+                         path_delay, slack_of_path, c17)
+from repro.logic.netlist import LogicNetlist
+from repro.montecarlo import sample_population
+
+UNIFORM = GateTiming(table={}, default=(100e-12, 100e-12))
+ASYM = GateTiming(table={"not": (140e-12, 90e-12),
+                         "nand": (120e-12, 80e-12)})
+
+
+def chain(n=4):
+    netlist = LogicNetlist("chain")
+    netlist.add_input("a")
+    prev = "a"
+    for i in range(n):
+        netlist.add_gate("not", [prev], "n{}".format(i))
+        prev = "n{}".format(i)
+    netlist.add_output(prev)
+    return netlist
+
+
+class TestArrivalTimes:
+    def test_chain_arrivals_accumulate(self):
+        arrivals = arrival_times(chain(3), UNIFORM)
+        assert arrivals["n2"] == (pytest.approx(300e-12),
+                                  pytest.approx(300e-12))
+
+    def test_asymmetric_edges_tracked(self):
+        arrivals = arrival_times(chain(2), ASYM)
+        # n0 rise comes from a fall: 140; n0 fall from a rise: 90
+        assert arrivals["n0"] == (pytest.approx(140e-12),
+                                  pytest.approx(90e-12))
+        # n1 rise from n0 fall: 90 + 140 = 230
+        assert arrivals["n1"][0] == pytest.approx(230e-12)
+
+    def test_c17_critical_delay(self):
+        # c17 depth 3, uniform 100ps gates
+        assert critical_delay(c17(), UNIFORM) == pytest.approx(300e-12)
+
+    def test_critical_is_max_over_outputs(self):
+        n = chain(5)
+        assert critical_delay(n, UNIFORM) == pytest.approx(500e-12)
+
+
+class TestPathDelay:
+    def test_uniform_chain(self):
+        n = chain(4)
+        path = ["a", "n0", "n1", "n2", "n3"]
+        assert path_delay(n, path, UNIFORM) == pytest.approx(400e-12)
+
+    def test_edge_polarity_affects_delay(self):
+        n = chain(2)
+        path = ["a", "n0", "n1"]
+        d_rise = path_delay(n, path, ASYM, launch_direction="rise")
+        d_fall = path_delay(n, path, ASYM, launch_direction="fall")
+        # rise launch: n0 falls (90), n1 rises (140) = 230
+        assert d_rise == pytest.approx(230e-12)
+        # fall launch: n0 rises (140), n1 falls (90) = 230 (symmetric
+        # here because the chain has even length)
+        assert d_fall == pytest.approx(230e-12)
+
+    def test_edge_at_net(self):
+        n = chain(3)
+        path = ["a", "n0", "n1", "n2"]
+        assert edge_at_net(n, path, "a") == "rise"
+        assert edge_at_net(n, path, "n0") == "fall"
+        assert edge_at_net(n, path, "n1") == "rise"
+
+    def test_edge_at_net_missing_raises(self):
+        n = chain(2)
+        with pytest.raises(ValueError):
+            edge_at_net(n, ["a", "n0", "n1"], "zzz")
+
+    def test_bad_direction_rejected(self):
+        n = chain(2)
+        with pytest.raises(ValueError):
+            path_delay(n, ["a", "n0"], UNIFORM, launch_direction="up")
+
+
+class TestCalibration:
+    def test_t_star_covers_critical_path(self):
+        samples = sample_population(4, base_seed=3)
+        test = calibrate_logic_delay_test(c17(), samples,
+                                          base_timing=UNIFORM)
+        assert test.t_star > critical_delay(c17(), UNIFORM)
+
+    def test_no_false_positive_by_construction(self):
+        samples = sample_population(4, base_seed=3)
+        test = calibrate_logic_delay_test(c17(), samples,
+                                          base_timing=UNIFORM)
+        for sample in samples:
+            timing = GateTiming(table={}, default=(100e-12, 100e-12),
+                                sample=sample)
+            d = critical_delay(c17(), timing)
+            assert not test.detects(d, sample=sample, t_factor=0.9)
+
+
+class TestDfRmin:
+    def calibration(self):
+        r = [1e3, 10e3, 100e3]
+        extra = [10e-12, 100e-12, 1000e-12]
+        return DefectCalibration(r, extra, extra, [0, 0, 0], "external")
+
+    def test_short_path_escapes(self):
+        """A short path under a long T' has slack the table cannot
+        cover."""
+        n = chain(2)
+        test = DelayFaultTest(1.5e-9, FlipFlopTiming(0, 0))
+        r_min = df_minimum_detectable_resistance(
+            n, ["a", "n0", "n1"], "n0", self.calibration(), test,
+            timing=UNIFORM)
+        assert r_min is None  # slack 1.3ns > max extra 1ns
+
+    def test_critical_path_detects(self):
+        n = chain(9)
+        path = ["a"] + ["n{}".format(i) for i in range(9)]
+        test = DelayFaultTest(1.0e-9, FlipFlopTiming(0, 0))
+        # slack = 1.0 - 0.9 = 100ps -> needs R = 10k
+        r_min = df_minimum_detectable_resistance(
+            n, path, "n0", self.calibration(), test, timing=UNIFORM)
+        assert r_min == pytest.approx(10e3, rel=0.05)
+
+    def test_zero_slack_detects_at_floor(self):
+        n = chain(9)
+        path = ["a"] + ["n{}".format(i) for i in range(9)]
+        test = DelayFaultTest(0.85e-9, FlipFlopTiming(0, 0))
+        r_min = df_minimum_detectable_resistance(
+            n, path, "n0", self.calibration(), test, timing=UNIFORM)
+        assert r_min == pytest.approx(1e3)
+
+    def test_slack_of_path(self):
+        n = chain(4)
+        test = DelayFaultTest(1.0e-9, FlipFlopTiming(50e-12, 50e-12))
+        slack = slack_of_path(n, ["a", "n0", "n1", "n2", "n3"], test,
+                              timing=UNIFORM)
+        assert slack == pytest.approx(0.5e-9)
+
+    def test_best_site_uses_longest_path(self):
+        test = DelayFaultTest(0.5e-9, FlipFlopTiming(0, 0))
+        r_min, path = df_best_r_min_for_site(
+            c17(), "G11", self.calibration(), test, timing=UNIFORM)
+        assert path is not None
+        # G11's longest PI->PO routes have 3 gates (300ps): slack 200ps
+        assert r_min == pytest.approx(20e3, rel=0.1)

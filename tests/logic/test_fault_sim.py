@@ -1,0 +1,168 @@
+"""Logic-level fault-simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.logic import (DefectCalibration, GateTiming, c17,
+                         characterize_path_for_test,
+                         minimum_detectable_resistance,
+                         path_model_from_netlist, run_pulse_test,
+                         sensitize_path)
+
+UNIFORM = GateTiming(table={}, default=(100e-12, 100e-12))
+
+
+def synthetic_calibration():
+    """A hand-made monotone R -> defect table."""
+    r = [1e3, 4e3, 16e3, 64e3]
+    rise = [5e-12, 20e-12, 80e-12, 320e-12]
+    fall = [4e-12, 16e-12, 64e-12, 256e-12]
+    theta = [3e-12, 12e-12, 48e-12, 192e-12]
+    return DefectCalibration(r, rise, fall, theta, "external")
+
+
+class TestDefectCalibration:
+    def test_interpolation(self):
+        cal = synthetic_calibration()
+        defect = cal.defect_for("n1", 8e3)
+        assert 20e-12 < defect.extra_rise < 80e-12
+        assert cal.theta_shift_for(4e3) == pytest.approx(12e-12)
+
+    def test_clamps_outside_range(self):
+        cal = synthetic_calibration()
+        assert cal.theta_shift_for(1.0) == pytest.approx(3e-12)
+        assert cal.theta_shift_for(1e9) == pytest.approx(192e-12)
+
+    def test_apply_to_path_model_raises_theta(self):
+        cal = synthetic_calibration()
+        n = c17()
+        model = path_model_from_netlist(n, ["G1", "G10", "G22"], UNIFORM)
+        faulted = cal.apply_to_path_model(model, 0, 64e3)
+        assert faulted.gate_models[0].theta == pytest.approx(
+            model.gate_models[0].theta + 192e-12)
+        # untouched gate unchanged
+        assert faulted.gate_models[1].theta == pytest.approx(
+            model.gate_models[1].theta)
+
+    def test_apply_rejects_bad_index(self):
+        cal = synthetic_calibration()
+        n = c17()
+        model = path_model_from_netlist(n, ["G1", "G10", "G22"], UNIFORM)
+        with pytest.raises(ValueError):
+            cal.apply_to_path_model(model, 5, 1e3)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            DefectCalibration([1e3, 2e3], [0.0], [0.0, 0.0], [0.0, 0.0],
+                              "external")
+
+    def test_monotone_resistances_enforced(self):
+        with pytest.raises(ValueError):
+            DefectCalibration([2e3, 1e3], [0, 0], [0, 0], [0, 0],
+                              "external")
+
+
+class TestRunPulseTest:
+    def vector(self, netlist, path):
+        return sensitize_path(netlist, path).vector(netlist)
+
+    def test_healthy_pulse_observed(self):
+        n = c17()
+        path = ["G1", "G10", "G22"]
+        result = run_pulse_test(n, path, self.vector(n, path), 300e-12,
+                                timing=UNIFORM)
+        assert result.observed_width == pytest.approx(300e-12)
+        assert not result.detected(omega_th=200e-12)
+
+    def test_narrow_pulse_dampened(self):
+        n = c17()
+        path = ["G1", "G10", "G22"]
+        result = run_pulse_test(n, path, self.vector(n, path), 60e-12,
+                                timing=UNIFORM)
+        assert result.observed_width == 0.0
+        assert result.detected(omega_th=200e-12)
+
+    def test_defect_changes_width(self):
+        n = c17()
+        path = ["G1", "G10", "G22"]
+        vector = self.vector(n, path)
+        cal = synthetic_calibration()
+        healthy = run_pulse_test(n, path, vector, 300e-12, timing=UNIFORM)
+        faulty = run_pulse_test(n, path, vector, 300e-12, timing=UNIFORM,
+                                defect=cal.defect_for("G10", 64e3))
+        assert faulty.observed_width != pytest.approx(
+            healthy.observed_width)
+
+    def test_rejects_non_pi_start(self):
+        n = c17()
+        with pytest.raises(ValueError):
+            run_pulse_test(n, ["G10", "G22"], {"G10": 0}, 300e-12)
+
+
+class TestCharacterizePath:
+    def test_c17_characterization(self):
+        n = c17()
+        info = characterize_path_for_test(n, ["G1", "G10", "G22"],
+                                          timing=UNIFORM)
+        assert info is not None
+        assert info["omega_in"] > 0.0
+        assert info["omega_th"] > 0.0
+        assert info["parity"] == 0
+        assert set(info["vector"]) == set(n.primary_inputs)
+
+    def test_unsensitizable_returns_none(self):
+        from repro.logic.netlist import LogicNetlist
+        n = LogicNetlist()
+        for pi in ("a", "s"):
+            n.add_input(pi)
+        n.add_gate("not", ["s"], "g1")
+        n.add_gate("nand", ["a", "s"], "y")
+        n.add_gate("nand", ["y", "g1"], "z")
+        n.add_output("z")
+        assert characterize_path_for_test(n, ["a", "y", "z"],
+                                          timing=UNIFORM) is None
+
+    def test_omega_in_propagates_at_logic_level(self):
+        n = c17()
+        info = characterize_path_for_test(n, ["G1", "G10", "G22"],
+                                          timing=UNIFORM)
+        result = run_pulse_test(n, info["path"], info["vector"],
+                                info["omega_in"], timing=UNIFORM)
+        assert result.observed_width > 0.0
+
+
+class TestMinimumDetectableResistance:
+    def test_monotone_in_threshold(self):
+        """A tighter omega_th (higher) detects smaller R."""
+        n = c17()
+        model = path_model_from_netlist(n, ["G1", "G10", "G22"], UNIFORM)
+        cal = synthetic_calibration()
+        omega_in = model.region3_onset() + 20e-12
+        w_healthy = model.transfer(omega_in)
+        r_loose = minimum_detectable_resistance(
+            model, 0, cal, omega_in, 0.7 * w_healthy)
+        r_tight = minimum_detectable_resistance(
+            model, 0, cal, omega_in, 0.97 * w_healthy)
+        assert r_tight is not None
+        assert r_loose is None or r_tight <= r_loose
+
+    def test_none_when_undetectable(self):
+        n = c17()
+        model = path_model_from_netlist(n, ["G1", "G10", "G22"], UNIFORM)
+        cal = DefectCalibration([1e3, 2e3], [0, 0], [0, 0], [0, 0],
+                                "external")  # defect does nothing
+        omega_in = model.region3_onset() + 20e-12
+        assert minimum_detectable_resistance(
+            model, 0, cal, omega_in, 1e-12) is None
+
+    def test_detection_at_returned_r(self):
+        n = c17()
+        model = path_model_from_netlist(n, ["G1", "G10", "G22"], UNIFORM)
+        cal = synthetic_calibration()
+        omega_in = model.region3_onset() + 20e-12
+        omega_th = 0.95 * model.transfer(omega_in)
+        r_min = minimum_detectable_resistance(model, 0, cal, omega_in,
+                                              omega_th)
+        assert r_min is not None
+        faulted = cal.apply_to_path_model(model, 0, r_min)
+        assert faulted.transfer(omega_in) < omega_th

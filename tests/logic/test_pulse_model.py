@@ -1,0 +1,139 @@
+"""Analytic pulse-model tests."""
+
+import pytest
+
+from repro.logic import (GatePulseModel, PathPulseModel, GateTiming,
+                         calibrate_gate_model, model_for_gate,
+                         path_model_from_netlist, c17)
+from repro.logic.netlist import Gate
+
+
+class TestGatePulseModel:
+    def model(self):
+        return GatePulseModel(theta=100e-12, span=60e-12, delta=20e-12)
+
+    def test_region1_dampens(self):
+        m = self.model()
+        assert m.transfer(50e-12) == 0.0
+        assert m.transfer(100e-12) == 0.0
+
+    def test_region3_linear_minus_delta(self):
+        m = self.model()
+        assert m.transfer(300e-12) == pytest.approx(280e-12)
+        assert m.transfer(500e-12) == pytest.approx(480e-12)
+
+    def test_region2_between(self):
+        m = self.model()
+        w = m.transfer(130e-12)  # halfway through the span
+        assert 0.0 < w < 130e-12
+
+    def test_transfer_continuous_at_region_boundaries(self):
+        m = self.model()
+        eps = 1e-15
+        assert m.transfer(100e-12 + eps) == pytest.approx(0.0, abs=1e-13)
+        start = m.asymptote_start()
+        assert m.transfer(start - eps) == pytest.approx(
+            m.transfer(start + eps), abs=1e-13)
+
+    def test_transfer_monotone(self):
+        m = self.model()
+        widths = [m.transfer(w * 1e-12) for w in range(0, 500, 10)]
+        assert all(b >= a for a, b in zip(widths, widths[1:]))
+
+    def test_required_input_inverts_transfer(self):
+        m = self.model()
+        for target in (10e-12, 50e-12, 200e-12):
+            w_in = m.required_input(target)
+            assert m.transfer(w_in) == pytest.approx(target, rel=1e-9)
+
+    def test_required_input_of_zero_is_theta(self):
+        assert self.model().required_input(0.0) == pytest.approx(100e-12)
+
+    def test_from_delays(self):
+        m = GatePulseModel.from_delays(140e-12, 100e-12)
+        assert m.theta == pytest.approx(140e-12)
+        assert m.delta == pytest.approx(40e-12)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GatePulseModel(theta=-1e-12, span=1e-12)
+        with pytest.raises(ValueError):
+            GatePulseModel(theta=1e-12, span=0.0)
+
+
+class TestPathPulseModel:
+    def chain(self, n=5):
+        return PathPulseModel([
+            GatePulseModel(theta=100e-12, span=60e-12, delta=10e-12)
+            for _ in range(n)])
+
+    def test_narrow_pulse_dies(self):
+        assert self.chain().transfer(120e-12) == 0.0
+
+    def test_wide_pulse_loses_total_delta(self):
+        m = self.chain(5)
+        assert m.transfer(600e-12) == pytest.approx(550e-12)
+
+    def test_minimum_propagatable_survives(self):
+        m = self.chain()
+        w_min = m.minimum_propagatable()
+        assert m.transfer(w_min) > 0.0
+        assert m.transfer(w_min * 0.9) == 0.0
+
+    def test_region3_onset_in_asymptote(self):
+        m = self.chain()
+        onset = m.region3_onset()
+        # past the onset the slope is exactly 1
+        assert (m.transfer(onset + 100e-12) - m.transfer(onset)
+                ) == pytest.approx(100e-12, rel=1e-6)
+
+    def test_longer_path_needs_wider_pulse(self):
+        assert (self.chain(7).minimum_propagatable()
+                > self.chain(3).minimum_propagatable())
+
+    def test_curve_vectorised(self):
+        m = self.chain(2)
+        values = m.curve([0.0, 200e-12, 400e-12])
+        assert values[0] == 0.0
+        assert values[2] > values[1] >= 0.0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            PathPulseModel([])
+
+
+class TestNetlistDerivation:
+    def test_model_for_gate_uses_timing(self):
+        g = Gate("g", "nand", ["a", "b"], "y")
+        m = model_for_gate(g, GateTiming())
+        assert m.theta == pytest.approx(85e-12)  # slower of (85, 70)
+        assert m.delta == pytest.approx(15e-12)
+
+    def test_path_model_from_netlist(self):
+        n = c17()
+        m = path_model_from_netlist(n, ["G1", "G10", "G22"], GateTiming())
+        assert len(m.gate_models) == 2
+
+    def test_path_model_rejects_undriven_net(self):
+        n = c17()
+        with pytest.raises(ValueError):
+            path_model_from_netlist(n, ["G1", "G3"], GateTiming())
+
+
+class TestElectricalCalibration:
+    """One electrical calibration run, reused for several assertions."""
+
+    @pytest.fixture(scope="class")
+    def inv_model(self):
+        return calibrate_gate_model("inv", dt=5e-12)
+
+    def test_threshold_positive_and_sub_ns(self, inv_model):
+        assert 10e-12 < inv_model.theta < 500e-12
+
+    def test_span_positive(self, inv_model):
+        assert inv_model.span > 0.0
+
+    def test_transfer_behaves(self, inv_model):
+        assert inv_model.transfer(inv_model.theta / 2) == 0.0
+        wide = inv_model.asymptote_start() + 200e-12
+        assert inv_model.transfer(wide) > 0.0

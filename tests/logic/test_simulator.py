@@ -1,0 +1,184 @@
+"""Event-driven timing simulator tests, centred on inertial filtering."""
+
+import pytest
+
+from repro.logic import (GateTiming, LogicNetlist, NetDelayDefect,
+                         TimingSimulator, c17)
+
+
+def inverter_chain(n=4):
+    netlist = LogicNetlist("chain")
+    netlist.add_input("a")
+    prev = "a"
+    for i in range(n):
+        netlist.add_gate("not", [prev], "n{}".format(i))
+        prev = "n{}".format(i)
+    netlist.add_output(prev)
+    return netlist
+
+
+def pulse_events(net, t0, width, idle=0):
+    return [(t0, net, 1 - idle), (t0 + width, net, idle)]
+
+
+UNIFORM = GateTiming(table={}, default=(100e-12, 100e-12))
+
+
+class TestBasicPropagation:
+    def test_transition_propagates_with_delay(self):
+        n = inverter_chain(3)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=[(1e-9, "a", 1)], t_end=3e-9)
+        # output after 3 gate delays
+        assert trace.transition_times("n2") == [pytest.approx(1.3e-9)]
+        assert trace.final_value("n2") == 0  # NOT^3(1)
+
+    def test_logic_values_correct(self):
+        n = inverter_chain(2)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=[(1e-9, "a", 1)], t_end=3e-9)
+        assert trace.final_value("n0") == 0
+        assert trace.final_value("n1") == 1
+
+    def test_no_events_without_stimulus(self):
+        n = inverter_chain(2)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=[], t_end=3e-9)
+        assert trace.transition_times("n1") == []
+
+    def test_stimulus_on_internal_net_rejected(self):
+        n = inverter_chain(2)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        with pytest.raises(ValueError):
+            sim.run({"a": 0}, events=[(1e-9, "n0", 1)])
+
+
+class TestInertialFiltering:
+    def test_wide_pulse_survives(self):
+        n = inverter_chain(4)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 300e-12),
+                        t_end=5e-9)
+        assert trace.widest_pulse("n3") == pytest.approx(300e-12)
+
+    def test_narrow_pulse_swallowed(self):
+        n = inverter_chain(4)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 60e-12),
+                        t_end=5e-9)
+        assert trace.widest_pulse("n3") == 0.0
+        assert trace.transition_times("n3") == []
+
+    def test_asymmetric_delays_shrink_one_polarity(self):
+        """tp_lh > tp_hl shrinks high-going output pulses by the
+        imbalance per gate (the logic-level dampening mechanism)."""
+        timing = GateTiming(table={"not": (140e-12, 100e-12)})
+        n = inverter_chain(2)
+        sim = TimingSimulator(n, timing=timing)
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 300e-12),
+                        t_end=5e-9)
+        # a pulses high; n0 pulses low (falls fast, rises slow -> widens?
+        # fall at t+100, rise at t+300+140 -> low pulse width 340)
+        assert trace.widest_pulse("n0") == pytest.approx(340e-12)
+        # n1 pulses high: rise slow, fall fast -> width 340 - 40 = 300
+        assert trace.widest_pulse("n1") == pytest.approx(300e-12)
+
+    def test_pulse_narrower_than_imbalanced_delay_dies_mid_chain(self):
+        timing = GateTiming(table={"not": (250e-12, 100e-12)})
+        n = inverter_chain(4)
+        sim = TimingSimulator(n, timing=timing)
+        # 180ps pulse: n0 widens to 330 (low pulse), n1 high pulse needs
+        # rise then fall: fall preempts unmatured rise? rise delay 250,
+        # second edge 330 later -> survives at n1 (330>250). It shrinks
+        # back to 180 at n1, then n2 low pulse = 330...
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 120e-12),
+                        t_end=5e-9)
+        # 120ps high pulse at 'a': n0 must fall (tp=100) then rise
+        # (tp=250): second edge scheduled at 1.12+0.25=1.37, first at
+        # 1.10 -> both mature: low pulse 270ps at n0. At n1: rise
+        # tp=250 at 1.35+0.25=1.6... wait n0 falls at 1.10 -> n1 rise at
+        # 1.35; n0 rises at 1.37 -> n1 fall at 1.47: pulse 120ps again.
+        assert trace.widest_pulse("n0") == pytest.approx(270e-12)
+        assert trace.widest_pulse("n1") == pytest.approx(120e-12)
+
+
+class TestDefects:
+    def test_defect_delays_edge(self):
+        n = inverter_chain(2)
+        defect = NetDelayDefect("n0", extra_rise=0.0, extra_fall=200e-12)
+        sim = TimingSimulator(n, timing=UNIFORM, defect=defect)
+        trace = sim.run({"a": 0}, events=[(1e-9, "a", 1)], t_end=4e-9)
+        # a rises -> n0 falls with +200ps defect -> at 1.3e-9
+        assert trace.transition_times("n0") == [pytest.approx(1.3e-9)]
+
+    def test_defect_shrinks_pulse_of_matching_polarity(self):
+        n = inverter_chain(2)
+        defect = NetDelayDefect("n0", extra_rise=150e-12, extra_fall=0.0)
+        sim = TimingSimulator(n, timing=UNIFORM, defect=defect)
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 400e-12),
+                        t_end=5e-9)
+        # n0 low pulse: falls on time, rises late -> widens to 550;
+        # n1 high pulse: tracks n0 low pulse -> 550
+        assert trace.widest_pulse("n0") == pytest.approx(550e-12)
+
+    def test_defect_kills_marginal_pulse(self):
+        n = inverter_chain(3)
+        # extra fall delay shrinks the low excursion at n0
+        defect = NetDelayDefect("n0", extra_rise=0.0, extra_fall=350e-12)
+        sim = TimingSimulator(n, timing=UNIFORM, defect=defect)
+        trace = sim.run({"a": 0}, events=pulse_events("a", 1e-9, 300e-12),
+                        t_end=5e-9)
+        # n0: fall at 1.0+0.45, rise scheduled at 1.3+0.1=1.4 < 1.45:
+        # the rise preempts the unmatured fall -> no pulse at all
+        assert trace.widest_pulse("n0") == 0.0
+        assert trace.widest_pulse("n2") == 0.0
+
+    def test_negative_defect_rejected(self):
+        with pytest.raises(ValueError):
+            NetDelayDefect("x", extra_rise=-1e-12)
+
+
+class TestReconvergence:
+    def test_c17_static_hazard_filtered_or_benign(self):
+        """Event-driven run on c17 settles to the zero-delay value."""
+        n = c17()
+        sim = TimingSimulator(n, timing=UNIFORM)
+        start = {"G1": 1, "G2": 1, "G3": 0, "G6": 1, "G7": 1}
+        end = dict(start, G3=1)
+        trace = sim.run(start, events=[(1e-9, "G3", 1)], t_end=6e-9)
+        expected = n.evaluate(end)
+        for po in n.primary_outputs:
+            assert trace.final_value(po) == expected[po]
+
+    def test_trace_value_at(self):
+        n = inverter_chain(1)
+        sim = TimingSimulator(n, timing=UNIFORM)
+        trace = sim.run({"a": 0}, events=[(1e-9, "a", 1)], t_end=3e-9)
+        assert trace.value_at("n0", 0.5e-9) == 1
+        assert trace.value_at("n0", 2.0e-9) == 0
+
+
+class TestGateTiming:
+    def test_table_lookup(self):
+        t = GateTiming()
+        from repro.logic import Gate
+        g = Gate("g", "nand", ["a", "b"], "y")
+        tp_lh, tp_hl = t.delays(g)
+        assert tp_lh == pytest.approx(85e-12)
+        assert tp_hl == pytest.approx(70e-12)
+
+    def test_default_for_unknown_kind(self):
+        t = GateTiming(table={}, default=(1e-12, 2e-12))
+        from repro.logic import Gate
+        g = Gate("g", "xor", ["a", "b"], "y")
+        assert t.delays(g) == (1e-12, 2e-12)
+
+    def test_sample_perturbs_deterministically(self):
+        from repro.logic import Gate
+        from repro.montecarlo import VariationModel
+        g = Gate("g", "nand", ["a", "b"], "y")
+        t1 = GateTiming(sample=VariationModel(seed=3))
+        t2 = GateTiming(sample=VariationModel(seed=3))
+        assert t1.delays(g) == t2.delays(g)
+        t3 = GateTiming(sample=VariationModel(seed=4))
+        assert t1.delays(g) != t3.delays(g)

@@ -1,0 +1,45 @@
+"""Monte Carlo engine tests."""
+
+import pytest
+
+from repro.montecarlo import VariationModel, run_population
+
+
+def population(n=4):
+    return [VariationModel(seed=i) for i in range(n)]
+
+
+class TestRunPopulation:
+    def test_results_aligned_with_samples(self):
+        result = run_population(lambda m: m.seed * 2, population())
+        assert result.values == [0, 2, 4, 6]
+        assert len(result) == 4
+
+    def test_iterable_and_indexable(self):
+        result = run_population(lambda m: m.seed, population())
+        assert list(result) == [0, 1, 2, 3]
+        assert result[2] == 2
+
+    def test_progress_callback_sees_each(self):
+        seen = []
+        run_population(lambda m: None, population(),
+                       progress=lambda i, n, m: seen.append((i, n)))
+        assert seen == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_error_propagates_by_default(self):
+        def boom(sample):
+            raise RuntimeError("boom")
+        with pytest.raises(RuntimeError):
+            run_population(boom, population())
+
+    def test_collect_errors_mode(self):
+        def sometimes(sample):
+            if sample.seed == 2:
+                raise RuntimeError("boom")
+            return sample.seed
+        result = run_population(sometimes, population(),
+                                collect_errors=True)
+        assert result.n_failed == 1
+        assert 2 in result.errors
+        assert result.values[2] is None
+        assert result.ok_values() == [0, 1, 3]

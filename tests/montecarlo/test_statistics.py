@@ -1,0 +1,62 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.montecarlo import coverage_fraction, summarize, wilson_interval
+
+
+class TestCoverageFraction:
+    def test_basic_fraction(self):
+        assert coverage_fraction([1, 2, 3, 4], lambda v: v > 2) == 0.5
+
+    def test_all_and_none(self):
+        assert coverage_fraction([1, 2], lambda v: True) == 1.0
+        assert coverage_fraction([1, 2], lambda v: False) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_fraction([], lambda v: True)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["n"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["median"] == pytest.approx(2.5)
+
+    def test_single_value_std_zero(self):
+        assert summarize([5.0])["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestWilson:
+    def test_interval_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+    def test_zero_hits_lower_bound_is_zero(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_full_hits_upper_bound_is_one(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(50, 100)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)

@@ -1,0 +1,81 @@
+"""Cross-module invariants verified with hypothesis.
+
+The strongest correctness evidence in the repository: independent
+implementations must bound each other.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (GateTiming, TimingSimulator, arrival_times,
+                         generate_random_circuit)
+from repro.montecarlo import VariationModel
+
+
+class TestStaBoundsEventSim:
+    @given(seed=st.integers(min_value=0, max_value=20),
+           vector_seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_every_transition_within_sta_arrival(self, seed, vector_seed):
+        """After a single PI flip at t0, no net may transition later
+        than t0 + its STA arrival bound (STA maximises over all paths,
+        the event simulation realises one sensitized subset)."""
+        netlist = generate_random_circuit(
+            n_inputs=6, n_outputs=2, n_gates=18, seed=seed,
+            target_depth=5)
+        timing = GateTiming()
+        arrivals = arrival_times(netlist, timing)
+
+        rng = np.random.default_rng(vector_seed)
+        start = {pi: int(rng.integers(2))
+                 for pi in netlist.primary_inputs}
+        flip = netlist.primary_inputs[
+            int(rng.integers(len(netlist.primary_inputs)))]
+        t0 = 1e-9
+        sim = TimingSimulator(netlist, timing=timing)
+        trace = sim.run(start,
+                        events=[(t0, flip, 1 - start[flip])],
+                        t_end=100e-9)
+        for net, (t_rise, t_fall) in arrivals.items():
+            last = trace.last_transition(net)
+            if last is None:
+                continue
+            bound = t0 + max(t_rise, t_fall)
+            assert last <= bound + 1e-15, net
+
+
+class TestVariationProperties:
+    @given(seed=st.integers(min_value=0, max_value=10000),
+           sigma=st.floats(min_value=0.001, max_value=0.15))
+    @settings(max_examples=60, deadline=None)
+    def test_factors_bounded_and_deterministic(self, seed, sigma):
+        a = VariationModel(seed=seed, sigma_local=sigma,
+                           sigma_global=sigma, sigma_timing=sigma)
+        b = VariationModel(seed=seed, sigma_local=sigma,
+                           sigma_global=sigma, sigma_timing=sigma)
+        for name in ("x.MN", "y.MP"):
+            fa = a.device_factors(name)
+            assert fa == b.device_factors(name)
+            for f in fa:
+                assert 1 - 3 * sigma - 1e-9 <= f <= 1 + 3 * sigma + 1e-9
+        t = a.timing_factor("clk")
+        assert t == b.timing_factor("clk")
+        assert 1 - 3 * sigma - 1e-9 <= t <= 1 + 3 * sigma + 1e-9
+
+
+class TestFaultSpecProperties:
+    @given(r=st.floats(min_value=1.0, max_value=1e7),
+           r2=st.floats(min_value=1.0, max_value=1e7),
+           stage=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_with_resistance_pure(self, r, r2, stage):
+        from repro.faults import (BridgingFault, ExternalOpen,
+                                  InternalOpen, PULL_UP)
+        for fault in (InternalOpen(stage, PULL_UP, r),
+                      ExternalOpen(stage, r),
+                      BridgingFault(stage, r)):
+            clone = fault.with_resistance(r2)
+            assert clone.resistance == r2
+            assert fault.resistance == r
+            assert clone.stage == fault.stage
+            assert type(clone) is type(fault)

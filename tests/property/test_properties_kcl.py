@@ -1,0 +1,85 @@
+"""KCL self-verification: every DC solution must balance currents.
+
+The residual check is independent of the Newton loop's convergence
+criterion (which watches voltage steps), so it catches stamping-sign
+bugs the solver itself cannot see.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, MosfetParams
+from repro.spice.dcop import dc_residual
+
+resistances = st.floats(min_value=10.0, max_value=1e6)
+voltages = st.floats(min_value=-5.0, max_value=5.0)
+
+
+def max_node_residual(circuit):
+    residual, compiled = dc_residual(circuit)
+    if compiled.n_nodes == 0:
+        return 0.0
+    return float(np.abs(residual[:compiled.n_nodes]).max())
+
+
+class TestLinearKcl:
+    @given(r1=resistances, r2=resistances, r3=resistances, v=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_bridge_network_balances(self, r1, r2, r3, v):
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", v)
+        c.add_resistor("R1", "a", "b", r1)
+        c.add_resistor("R2", "b", "c", r2)
+        c.add_resistor("R3", "c", "0", r3)
+        c.add_resistor("R4", "b", "0", r3)
+        assert max_node_residual(c) < 1e-9
+
+    @given(i=st.floats(min_value=-1e-4, max_value=1e-4),
+           r=st.floats(min_value=10.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_current_source_balances(self, i, r):
+        # |v| <= 10 V keeps the solver's gmin leakage (v * 1e-12 A)
+        # well below the bound.
+        c = Circuit()
+        c.add_isource("I1", "0", "x", i)
+        c.add_resistor("R1", "x", "0", r)
+        assert max_node_residual(c) < 1e-9
+
+
+class TestNonlinearKcl:
+    @given(vin=st.floats(min_value=0.0, max_value=2.5),
+           wn=st.floats(min_value=0.5e-6, max_value=4e-6),
+           wp=st.floats(min_value=0.5e-6, max_value=6e-6))
+    @settings(max_examples=40, deadline=None)
+    def test_inverter_balances_at_any_bias(self, vin, wn, wp):
+        c = Circuit()
+        pn = MosfetParams(kp=120e-6, vt=0.5, lam=0.06)
+        pp = MosfetParams(kp=40e-6, vt=0.55, lam=0.08)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_vsource("VIN", "a", "0", vin)
+        c.add_nmos("MN", "y", "a", "0", "0", wn, 0.25e-6, pn)
+        c.add_pmos("MP", "y", "a", "vdd", "vdd", wp, 0.25e-6, pp)
+        c.add_resistor("RL", "y", "0", 1e6)
+        # gmin keeps the solve finite; its leakage appears in the
+        # residual, hence the relaxed bound.
+        assert max_node_residual(c) < 1e-6
+
+    def test_sensitized_path_balances(self):
+        from repro.cells import build_path
+        path = build_path()
+        assert max_node_residual(path.circuit) < 1e-6
+
+    def test_residual_rejects_wrong_solution(self):
+        """A deliberately wrong state vector must NOT balance — guards
+        against the check being vacuous."""
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        residual, compiled = dc_residual(c)
+        x_bad = np.zeros(compiled.n)
+        x_bad[compiled.index_of("b")] = 0.9  # wrong divider value
+        x_bad[compiled.index_of("a")] = 1.0
+        bad_residual, _ = dc_residual(c, x=x_bad)
+        assert np.abs(bad_residual[:compiled.n_nodes]).max() > 1e-5

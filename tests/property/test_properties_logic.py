@@ -1,0 +1,102 @@
+"""Hypothesis property tests on the logic substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (GatePulseModel, GateTiming, PathPulseModel,
+                         TimingSimulator, generate_random_circuit)
+from repro.logic.netlist import Gate
+
+gate_kinds = st.sampled_from(["and", "nand", "or", "nor", "xor", "xnor"])
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestGateEvaluation:
+    @given(kind=gate_kinds, a=bits, b=bits)
+    @settings(max_examples=60, deadline=None)
+    def test_evaluate3_consistent_with_evaluate(self, kind, a, b):
+        g = Gate("g", kind, ["a", "b"], "y")
+        assert g.evaluate3([a, b]) == g.evaluate([a, b])
+
+    @given(kind=gate_kinds, a=bits)
+    @settings(max_examples=40, deadline=None)
+    def test_evaluate3_x_soundness(self, kind, a):
+        """If evaluate3 returns a definite value with one X input, the
+        value must hold for both completions."""
+        g = Gate("g", kind, ["a", "b"], "y")
+        result = g.evaluate3([a, None])
+        if result is not None:
+            assert result == g.evaluate([a, 0]) == g.evaluate([a, 1])
+
+
+class TestGeneratedCircuits:
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_circuit_valid_and_acyclic(self, seed):
+        n = generate_random_circuit(n_inputs=6, n_outputs=2, n_gates=15,
+                                    seed=seed, target_depth=4)
+        assert n.validate()
+        assert n.n_gates == 15
+
+    @given(seed=st.integers(min_value=0, max_value=15),
+           vector_seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_event_sim_settles_to_zero_delay_values(self, seed,
+                                                    vector_seed):
+        """After any single input flip, the event-driven simulation must
+        settle to the zero-delay evaluation."""
+        import numpy as np
+        n = generate_random_circuit(n_inputs=6, n_outputs=2, n_gates=15,
+                                    seed=seed, target_depth=4)
+        rng = np.random.default_rng(vector_seed)
+        start = {pi: int(rng.integers(2)) for pi in n.primary_inputs}
+        flip_pi = n.primary_inputs[int(rng.integers(len(n.primary_inputs)))]
+        end = dict(start)
+        end[flip_pi] = 1 - end[flip_pi]
+        sim = TimingSimulator(n, timing=GateTiming())
+        trace = sim.run(start, events=[(1e-9, flip_pi, end[flip_pi])],
+                        t_end=60e-9)
+        expected = n.evaluate(end)
+        for po in n.primary_outputs:
+            assert trace.final_value(po) == expected[po]
+
+
+class TestPulseModelProperties:
+    thetas = st.floats(min_value=1e-12, max_value=3e-10)
+    spans = st.floats(min_value=1e-12, max_value=2e-10)
+    deltas = st.floats(min_value=0.0, max_value=1e-10)
+
+    @given(theta=thetas, span=spans, delta=deltas,
+           w=st.floats(min_value=0, max_value=2e-9))
+    @settings(max_examples=100, deadline=None)
+    def test_transfer_never_amplifies(self, theta, span, delta, w):
+        m = GatePulseModel(theta, span, delta)
+        assert m.transfer(w) <= w + 1e-15
+
+    @given(theta=thetas, span=spans, delta=deltas,
+           w1=st.floats(min_value=0, max_value=2e-9),
+           w2=st.floats(min_value=0, max_value=2e-9))
+    @settings(max_examples=100, deadline=None)
+    def test_transfer_monotone(self, theta, span, delta, w1, w2):
+        m = GatePulseModel(theta, span, delta)
+        lo, hi = min(w1, w2), max(w1, w2)
+        assert m.transfer(lo) <= m.transfer(hi) + 1e-15
+
+    @given(theta=thetas, span=spans, delta=deltas,
+           target=st.floats(min_value=1e-13, max_value=1e-9))
+    @settings(max_examples=100, deadline=None)
+    def test_required_input_is_inverse(self, theta, span, delta, target):
+        m = GatePulseModel(theta, span, delta)
+        w_in = m.required_input(target)
+        assert m.transfer(w_in) >= target - 1e-12
+
+    @given(
+        params=st.lists(st.tuples(thetas, spans, deltas), min_size=1,
+                        max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_path_minimum_propagatable_is_tight(self, params):
+        m = PathPulseModel([GatePulseModel(t, s, d)
+                            for t, s, d in params])
+        w_min = m.minimum_propagatable()
+        assert m.transfer(w_min) > 0.0
+        assert m.transfer(0.5 * w_min) == 0.0 or 0.5 * w_min > min(
+            g.theta for g in m.gate_models)

@@ -1,0 +1,133 @@
+"""Hypothesis property tests on the electrical substrate.
+
+These stay linear-circuit-only so each case solves in microseconds.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, Pulse, Waveform, operating_point
+from repro.spice.mosfet import evaluate_level1
+
+resistances = st.floats(min_value=1.0, max_value=1e6)
+voltages = st.floats(min_value=-10.0, max_value=10.0)
+
+
+class TestDividerProperties:
+    @given(r1=resistances, r2=resistances, v=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_divider_formula(self, r1, r2, v):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", v)
+        c.add_resistor("R1", "in", "mid", r1)
+        c.add_resistor("R2", "mid", "0", r2)
+        op = operating_point(c)
+        expected = v * r2 / (r1 + r2)
+        assert abs(op["mid"] - expected) < max(1e-6, abs(expected) * 1e-4)
+
+    @given(
+        rs=st.lists(resistances, min_size=2, max_size=6),
+        v=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ladder_voltages_monotone(self, rs, v):
+        """Voltages along a resistor ladder decrease monotonically."""
+        c = Circuit()
+        c.add_vsource("V1", "n0", "0", v)
+        for i, r in enumerate(rs):
+            c.add_resistor("R{}".format(i), "n{}".format(i),
+                           "n{}".format(i + 1), r)
+        c.add_resistor("Rend", "n{}".format(len(rs)), "0", 1e3)
+        op = operating_point(c)
+        chain = [op["n{}".format(i)] for i in range(len(rs) + 1)]
+        assert all(a >= b - 1e-9 for a, b in zip(chain, chain[1:]))
+
+
+class TestMosfetProperties:
+    @given(
+        vg=st.floats(min_value=-3.0, max_value=3.0),
+        vd=st.floats(min_value=-3.0, max_value=3.0),
+        vs=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_current_zero_or_signed_correctly(self, vg, vd, vs):
+        """NMOS current always flows from the higher to the lower of
+        drain/source (passive device, no energy creation)."""
+        i, gm, gds, a_is_d = evaluate_level1(
+            vd, vg, vs, 1.0, 1e-4, 0.5, 0.05)
+        # i is the a->b current in the swapped frame where a is the
+        # higher-voltage terminal: for NMOS it can never be negative
+        # (channel conduction is from high to low).
+        assert float(i) >= 0.0
+        assert float(gm) >= 0.0
+        assert float(gds) >= 0.0
+
+    @given(
+        vg=st.floats(min_value=-3.0, max_value=3.0),
+        vd=st.floats(min_value=-3.0, max_value=3.0),
+        vs=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pmos_is_mirrored_nmos(self, vg, vd, vs):
+        i_n, _, _, _ = evaluate_level1(vd, vg, vs, 1.0, 1e-4, 0.5, 0.05)
+        i_p, _, _, _ = evaluate_level1(-vd, -vg, -vs, -1.0, 1e-4, 0.5,
+                                       0.05)
+        assert float(i_p) == -float(i_n) or abs(
+            float(i_p) + float(i_n)) < 1e-15
+
+
+class TestPulseStimulusProperties:
+    @given(
+        v1=voltages, v2=voltages,
+        delay=st.floats(min_value=0, max_value=1e-8),
+        width=st.floats(min_value=0, max_value=1e-8),
+        t=st.floats(min_value=0, max_value=5e-8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pulse_bounded_by_levels(self, v1, v2, delay, width, t):
+        p = Pulse(v1, v2, delay=delay, rise=1e-10, width=width)
+        lo, hi = min(v1, v2), max(v1, v2)
+        assert lo - 1e-12 <= p.value_at(t) <= hi + 1e-12
+
+
+class TestWaveformProperties:
+    @given(
+        data=st.lists(st.floats(min_value=-5, max_value=5), min_size=4,
+                      max_size=60),
+        level=st.floats(min_value=-4, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pulse_intervals_are_disjoint_and_ordered(self, data, level):
+        t = np.linspace(0.0, 1.0, len(data))
+        wf = Waveform(t, {"x": np.array(data)})
+        intervals = wf.pulse_intervals("x", level)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+        for s, e in intervals:
+            assert s <= e
+
+    @given(
+        data=st.lists(st.floats(min_value=-5, max_value=5), min_size=4,
+                      max_size=60),
+        level=st.floats(min_value=-4, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_widest_pulse_bounded_by_window(self, data, level):
+        t = np.linspace(0.0, 1.0, len(data))
+        wf = Waveform(t, {"x": np.array(data)})
+        assert 0.0 <= wf.widest_pulse("x", level) <= 1.0
+
+    @given(
+        data=st.lists(st.floats(min_value=-5, max_value=5), min_size=4,
+                      max_size=60),
+        level=st.floats(min_value=-4, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_high_low_polarities_partition_time(self, data, level):
+        """Total high-excursion time + low-excursion time <= window
+        (equality up to crossing interpolation)."""
+        t = np.linspace(0.0, 1.0, len(data))
+        wf = Waveform(t, {"x": np.array(data)})
+        high = sum(wf.pulse_widths("x", level, "high"))
+        low = sum(wf.pulse_widths("x", level, "low"))
+        assert high + low <= 1.0 + 1e-9

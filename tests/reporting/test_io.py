@@ -1,0 +1,84 @@
+"""Export/import round-trip tests."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import CoverageCurve, CoverageResult, TransferCurve
+from repro.reporting.io import (campaign_to_json, coverage_result_to_dict,
+                                coverage_result_to_json, load_json,
+                                transfer_curve_to_csv, waveform_to_csv)
+from repro.spice import Waveform
+
+
+class TestWaveformCsv:
+    def test_round_trip(self, tmp_path):
+        t = np.linspace(0, 1e-9, 5)
+        wf = Waveform(t, {"a": t * 2.0, "b": t * -1.0})
+        path = tmp_path / "wave.csv"
+        waveform_to_csv(wf, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time", "a", "b"]
+        assert len(rows) == 6
+        assert float(rows[1][0]) == pytest.approx(0.0)
+        assert float(rows[-1][1]) == pytest.approx(2e-9)
+
+    def test_node_subset(self, tmp_path):
+        t = np.linspace(0, 1, 3)
+        wf = Waveform(t, {"a": t, "b": t})
+        path = tmp_path / "wave.csv"
+        waveform_to_csv(wf, path, nodes=["b"])
+        with open(path) as handle:
+            header = next(csv.reader(handle))
+        assert header == ["time", "b"]
+
+
+class TestTransferCsv:
+    def test_round_trip(self, tmp_path):
+        curve = TransferCurve([1e-10, 2e-10, 3e-10],
+                              [0.0, 1e-10, 2.4e-10])
+        path = tmp_path / "curve.csv"
+        transfer_curve_to_csv(curve, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["w_in", "w_out"]
+        assert float(rows[2][1]) == pytest.approx(1e-10)
+
+
+class TestCoverageJson:
+    def make_result(self):
+        curves = {
+            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0.0, 1.0], 8),
+        }
+        return CoverageResult([1e3, 2e3], curves, raw=None)
+
+    def test_dict_shape(self):
+        payload = coverage_result_to_dict(self.make_result())
+        assert payload["resistances"] == [1000.0, 2000.0]
+        assert payload["curves"]["1.0*T"] == [0.0, 1.0]
+        assert payload["n_samples"]["1.0*T"] == 8
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        coverage_result_to_json(self.make_result(), path)
+        loaded = load_json(path)
+        assert loaded["curves"]["1.0*T"] == [0.0, 1.0]
+
+
+class TestCampaignJson:
+    def test_round_trip(self, tmp_path):
+        from repro.logic import (DefectCalibration, c17, run_campaign)
+        from repro.montecarlo import sample_population
+        cal = DefectCalibration([1e3, 10e3], [1e-11, 1e-10],
+                                [1e-11, 1e-10], [5e-12, 5e-11],
+                                "external")
+        campaign = run_campaign(c17(), cal,
+                                samples=sample_population(2))
+        path = tmp_path / "campaign.json"
+        campaign_to_json(campaign, path)
+        loaded = load_json(path)
+        assert loaded["summary"]["n_sites"] == 6
+        assert len(loaded["sites"]) == 6
+        assert all("net" in s for s in loaded["sites"])

@@ -1,0 +1,65 @@
+"""Reporting helper tests."""
+
+from repro.core import CoverageCurve, CoverageResult
+from repro.reporting import (ascii_plot, coverage_table, format_series,
+                             format_table)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "-" in lines[1]
+        assert "22.5" in lines[3]
+
+    def test_wide_cell_extends_column(self):
+        out = format_table(["x"], [["a very long cell"]])
+        assert "a very long cell" in out
+
+    def test_float_precision(self):
+        out = format_table(["v"], [[1.23456789]], precision=2)
+        assert "1.235" in out  # precision+2 significant digits
+
+
+class TestFormatSeries:
+    def test_scaling_applied(self):
+        out = format_series("curve", [1e-9], [0.5], x_scale=1e12)
+        assert "1000" in out
+        assert "curve" in out
+
+
+class TestCoverageTable:
+    def test_one_row_per_resistance(self):
+        curves = {
+            "0.9*T": CoverageCurve("0.9*T", [1e3, 2e3], [0.0, 1.0], 4),
+            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0.0, 0.5], 4),
+        }
+        result = CoverageResult([1e3, 2e3], curves, raw=None)
+        out = coverage_table(result)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "0.9*T" in lines[0]
+
+
+class TestAsciiPlot:
+    def test_plots_without_error(self):
+        out = ascii_plot({"a": ([0, 1, 2], [0.0, 0.5, 1.0])})
+        assert "legend" in out
+        assert "o" in out
+
+    def test_two_series_different_markers(self):
+        out = ascii_plot({"a": ([0, 1], [0, 1]),
+                          "b": ([0, 1], [1, 0])})
+        assert "o a" in out
+        assert "x b" in out
+
+    def test_degenerate_ranges_handled(self):
+        out = ascii_plot({"a": ([1, 1], [2, 2])})
+        assert out  # no division by zero
+
+    def test_empty_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([], [])})

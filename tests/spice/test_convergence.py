@@ -1,0 +1,109 @@
+"""Solver robustness and failure-path tests."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, MosfetParams, Pulse, run_transient
+from repro.spice.errors import ConvergenceError
+from repro.spice.mna import CompiledCircuit, newton_solve
+from repro.spice.dcop import solve_dc
+
+
+class TestNewtonEdgeCases:
+    def test_singular_system_raises(self):
+        """Two ideal sources fighting on one node -> singular matrix."""
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_vsource("V2", "a", "0", 2.0)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        with pytest.raises((ConvergenceError, np.linalg.LinAlgError)):
+            newton_solve(compiled, compiled.a_static, rhs,
+                         np.zeros(compiled.n))
+
+    def test_iteration_limit_raises(self):
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        # an absurd damping value forces tiny steps -> iteration cap
+        with pytest.raises(ConvergenceError):
+            newton_solve(compiled, compiled.a_static, rhs,
+                         np.zeros(compiled.n) + 100.0, damping=1e-9,
+                         max_iter=5)
+
+    def test_error_carries_context(self):
+        err = ConvergenceError("x", iterations=7, residual=0.5, time=1e-9)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+        assert err.time == 1e-9
+
+
+class TestGminStepping:
+    def test_back_to_back_inverters_converge(self):
+        """A bistable latch has three DC solutions; gmin-stepped Newton
+        must settle on one without diverging."""
+        c = Circuit()
+        pn = MosfetParams(kp=120e-6, vt=0.5, lam=0.06)
+        pp = MosfetParams(kp=40e-6, vt=0.55, lam=0.08)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        for name, a, y in (("u1", "q", "qb"), ("u2", "qb", "q")):
+            c.add_nmos(name + "n", y, a, "0", "0", 1e-6, 0.25e-6, pn)
+            c.add_pmos(name + "p", y, a, "vdd", "vdd", 2.5e-6,
+                       0.25e-6, pp)
+        compiled = CompiledCircuit(c)
+        x = solve_dc(compiled)
+        assert np.all(np.isfinite(x))
+        assert np.abs(x[:compiled.n_nodes]).max() <= 2.6
+
+    def test_large_stack_converges(self):
+        """A 12-high series NMOS stack stresses the continuation path."""
+        c = Circuit()
+        p = MosfetParams(kp=120e-6, vt=0.5, lam=0.06)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_vsource("VG", "g", "0", 2.5)
+        c.add_resistor("RL", "vdd", "n0", 5e3)
+        for i in range(12):
+            c.add_nmos("M{}".format(i), "n{}".format(i), "g",
+                       "n{}".format(i + 1) if i < 11 else "0", "0",
+                       1e-6, 0.25e-6, p)
+        from repro.spice import operating_point
+        op = operating_point(c)
+        # the stack conducts (n0 pulled visibly below the rail) and the
+        # node voltages decrease monotonically toward ground
+        assert op["n0"] < 2.4
+        chain = [op["n{}".format(i)] for i in range(12)]
+        assert all(a > b for a, b in zip(chain, chain[1:]))
+
+
+class TestTransientRobustness:
+    def test_fast_edge_into_stiff_load(self):
+        """A 1 ps edge into a tiny RC must not blow up the integrator."""
+        c = Circuit()
+        c.add_vsource("V1", "in", "0",
+                      Pulse(0, 2.5, delay=50e-12, rise=1e-12, width=1.0))
+        c.add_resistor("R1", "in", "out", 10.0)
+        c.add_capacitor("C1", "out", "0", 1e-16)
+        wf = run_transient(c, 0.5e-9, 2e-12)
+        assert np.all(np.isfinite(wf["out"]))
+        assert wf.value_at("out", 0.4e-9) == pytest.approx(2.5, abs=0.05)
+
+    def test_long_idle_window_stays_quiet(self):
+        """No spurious drift on a quiescent CMOS stage over 20 ns."""
+        c = Circuit()
+        pn = MosfetParams(kp=120e-6, vt=0.5, lam=0.06, cgs=2e-15,
+                          cdb=2e-15)
+        pp = MosfetParams(kp=40e-6, vt=0.55, lam=0.08, cgs=5e-15,
+                          cdb=4e-15)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_vsource("VIN", "a", "0", 0.0)
+        c.add_nmos("MN", "y", "a", "0", "0", 1e-6, 0.25e-6, pn)
+        c.add_pmos("MP", "y", "a", "vdd", "vdd", 2.5e-6, 0.25e-6, pp)
+        c.add_capacitor("CL", "y", "0", 20e-15)
+        wf = run_transient(c, 20e-9, 20e-12, record=["y"])
+        assert wf["y"].min() > 2.4
+        assert wf["y"].max() < 2.6

@@ -1,0 +1,83 @@
+"""DC sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, MosfetParams, Pulse, dc_sweep
+from repro.spice.errors import AnalysisError
+
+
+def divider():
+    c = Circuit()
+    c.add_vsource("V1", "in", "0", 1.0)
+    c.add_resistor("R1", "in", "mid", 1e3)
+    c.add_resistor("R2", "mid", "0", 1e3)
+    return c
+
+
+class TestLinearSweep:
+    def test_divider_tracks_source(self):
+        result = dc_sweep(divider(), "V1", [0.0, 1.0, 2.0, 4.0])
+        assert np.allclose(result["mid"], [0.0, 0.5, 1.0, 2.0],
+                           atol=1e-6)
+
+    def test_record_subset(self):
+        result = dc_sweep(divider(), "V1", [1.0], record=["mid"])
+        assert result.nodes() == ["mid"]
+
+    def test_stimulus_restored(self):
+        c = divider()
+        original = c.element("V1").stimulus
+        dc_sweep(c, "V1", [5.0])
+        assert c.element("V1").stimulus is original
+
+    def test_stimulus_restored_on_sweep_of_pulse_source(self):
+        c = divider()
+        c.element("V1").stimulus = Pulse(0, 1)
+        original = c.element("V1").stimulus
+        dc_sweep(c, "V1", [0.5])
+        assert c.element("V1").stimulus is original
+
+    def test_rejects_non_source(self):
+        with pytest.raises(AnalysisError):
+            dc_sweep(divider(), "R1", [1.0])
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(AnalysisError):
+            dc_sweep(divider(), "V1", [])
+
+    def test_missing_node_rejected(self):
+        result = dc_sweep(divider(), "V1", [1.0])
+        with pytest.raises(AnalysisError):
+            result["nope"]
+
+
+class TestVtcSweep:
+    @pytest.fixture()
+    def inverter(self):
+        c = Circuit()
+        pn = MosfetParams(kp=120e-6, vt=0.5, lam=0.05)
+        pp = MosfetParams(kp=40e-6, vt=0.55, lam=0.05)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_vsource("VIN", "a", "0", 0.0)
+        c.add_nmos("MN", "y", "a", "0", "0", 1e-6, 0.25e-6, pn)
+        c.add_pmos("MP", "y", "a", "vdd", "vdd", 2.5e-6, 0.25e-6, pp)
+        return c
+
+    def test_vtc_monotone_decreasing(self, inverter):
+        vin = np.linspace(0, 2.5, 26)
+        result = dc_sweep(inverter, "VIN", vin, record=["y"])
+        y = result["y"]
+        assert all(b <= a + 1e-6 for a, b in zip(y, y[1:]))
+
+    def test_switching_threshold_via_crossing(self, inverter):
+        vin = np.linspace(0, 2.5, 51)
+        result = dc_sweep(inverter, "VIN", vin, record=["y"])
+        vm = result.crossing("y", 1.25)
+        assert vm is not None
+        assert 0.8 < vm < 1.7
+
+    def test_crossing_none_when_flat(self):
+        result = dc_sweep(divider(), "V1", [1.0, 1.1, 1.2],
+                          record=["mid"])
+        assert result.crossing("mid", 5.0) is None

@@ -1,0 +1,83 @@
+"""Element construction and rewiring tests."""
+
+import pytest
+
+from repro.spice import (Capacitor, CurrentSource, Dc, Resistor,
+                         VoltageSource)
+from repro.spice.errors import NetlistError
+
+
+class TestResistor:
+    def test_stores_terminals_in_order(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.nodes() == ["a", "b"]
+
+    def test_conductance(self):
+        r = Resistor("R1", "a", "b", 200.0)
+        assert r.conductance == pytest.approx(0.005)
+
+    def test_rejects_zero_resistance(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+
+class TestCapacitor:
+    def test_allows_zero_capacitance(self):
+        c = Capacitor("C1", "a", "0", 0.0)
+        assert c.capacitance == 0.0
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "0", -1e-12)
+
+    def test_initial_condition_optional(self):
+        assert Capacitor("C1", "a", "0", 1e-12).ic is None
+        assert Capacitor("C2", "a", "0", 1e-12, ic=1.5).ic == 1.5
+
+
+class TestSources:
+    def test_voltage_source_coerces_number(self):
+        v = VoltageSource("V1", "p", "0", 5.0)
+        assert isinstance(v.stimulus, Dc)
+
+    def test_current_source_coerces_number(self):
+        i = CurrentSource("I1", "p", "0", 1e-3)
+        assert i.stimulus.value_at(0.0) == pytest.approx(1e-3)
+
+
+class TestRewiring:
+    def test_rewire_by_label(self):
+        r = Resistor("R1", "a", "b", 1.0)
+        r.rewire("p", "c")
+        assert r.node("p") == "c"
+        assert r.node("n") == "b"
+
+    def test_rewire_unknown_label_raises(self):
+        r = Resistor("R1", "a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            r.rewire("x", "c")
+
+    def test_rewire_node_hits_all_matching_terminals(self):
+        r = Resistor("R1", "a", "a", 1.0)
+        hits = r.rewire_node("a", "b")
+        assert hits == 2
+        assert r.nodes() == ["b", "b"]
+
+    def test_rewire_node_miss_returns_zero(self):
+        r = Resistor("R1", "a", "b", 1.0)
+        assert r.rewire_node("zzz", "c") == 0
+
+    def test_wrong_terminal_count_raises(self):
+        from repro.spice.elements import TwoTerminal
+        with pytest.raises(NetlistError):
+            TwoTerminal("X1", "a")  # needs two nodes
+        with pytest.raises(NetlistError):
+            TwoTerminal("X1", "a", "b", "c")

@@ -1,0 +1,134 @@
+"""MNA compiler unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, MosfetParams
+from repro.spice.errors import NetlistError
+from repro.spice.mna import CompiledCircuit
+
+
+@pytest.fixture()
+def simple_rc():
+    c = Circuit()
+    c.add_vsource("V1", "in", "0", 1.0)
+    c.add_resistor("R1", "in", "out", 1e3)
+    c.add_capacitor("C1", "out", "0", 1e-12)
+    return CompiledCircuit(c)
+
+
+class TestIndexing:
+    def test_node_count(self, simple_rc):
+        assert simple_rc.n_nodes == 2
+        assert simple_rc.n_vsrc == 1
+        assert simple_rc.n == 3
+
+    def test_ground_is_minus_one(self, simple_rc):
+        assert simple_rc.index_of("0") == -1
+        assert simple_rc.index_of("gnd") == -1
+
+    def test_unknown_node_raises(self, simple_rc):
+        with pytest.raises(NetlistError):
+            simple_rc.index_of("nope")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            CompiledCircuit(Circuit())
+
+
+class TestStaticMatrix:
+    def test_resistor_stamp_symmetric(self, simple_rc):
+        a = simple_rc.a_static
+        i = simple_rc.index_of("in")
+        o = simple_rc.index_of("out")
+        g = 1e-3
+        assert a[i, i] == pytest.approx(g)
+        assert a[o, o] == pytest.approx(g)
+        assert a[i, o] == pytest.approx(-g)
+        assert a[o, i] == pytest.approx(-g)
+
+    def test_vsource_incidence(self, simple_rc):
+        a = simple_rc.a_static
+        row = simple_rc.n_nodes  # first branch row
+        i = simple_rc.index_of("in")
+        assert a[row, i] == pytest.approx(1.0)
+        assert a[i, row] == pytest.approx(1.0)
+
+    def test_grounded_resistor_stamps_diagonal_only(self):
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "0", 100.0)
+        compiled = CompiledCircuit(c)
+        i = compiled.index_of("a")
+        assert compiled.a_static[i, i] == pytest.approx(0.01)
+
+
+class TestCapCompanion:
+    def test_companion_value(self, simple_rc):
+        a = simple_rc.cap_companion_matrix(1e12)  # geq = C/h = 1
+        o = simple_rc.index_of("out")
+        assert a[o, o] == pytest.approx(1.0)
+
+    def test_branch_voltage_gather(self, simple_rc):
+        x = np.zeros(simple_rc.n)
+        x[simple_rc.index_of("out")] = 0.7
+        v = simple_rc.cap_branch_voltages(x)
+        assert v[0] == pytest.approx(0.7)
+
+    def test_mosfet_intrinsic_caps_materialised(self):
+        c = Circuit()
+        p = MosfetParams(kp=1e-4, vt=0.5, cgs=1e-15, cgd=2e-15)
+        c.add_vsource("V1", "g", "0", 1.0)
+        c.add_nmos("M1", "d", "g", "0", "0", 1e-6, 1e-6, p)
+        c.add_resistor("RL", "d", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        assert compiled.n_caps == 2
+        assert "M1.cgs" in compiled.cap_names
+
+
+class TestSourceRhs:
+    def test_vsource_value_in_branch_row(self, simple_rc):
+        rhs = np.zeros(simple_rc.n)
+        simple_rc.source_rhs(0.0, rhs)
+        assert rhs[simple_rc.n_nodes] == pytest.approx(1.0)
+
+    def test_isource_signs(self):
+        c = Circuit()
+        c.add_isource("I1", "a", "b", 2e-3)
+        c.add_resistor("R1", "a", "0", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        assert rhs[compiled.index_of("a")] == pytest.approx(-2e-3)
+        assert rhs[compiled.index_of("b")] == pytest.approx(2e-3)
+
+
+class TestMosfetStamping:
+    def test_off_device_stamps_nothing_significant(self):
+        c = Circuit()
+        p = MosfetParams(kp=1e-4, vt=0.5)
+        c.add_vsource("VD", "d", "0", 2.0)
+        c.add_nmos("M1", "d", "g", "0", "0", 1e-6, 1e-6, p)
+        c.add_resistor("RG", "g", "0", 1e6)
+        compiled = CompiledCircuit(c)
+        a = compiled.a_static.copy()
+        rhs = np.zeros(compiled.n)
+        x = np.zeros(compiled.n)
+        x[compiled.index_of("d")] = 2.0
+        compiled.stamp_mosfets(x, a, rhs, gmin=0.0)
+        d = compiled.index_of("d")
+        assert a[d, d] == pytest.approx(compiled.a_static[d, d], abs=1e-15)
+
+    def test_drain_current_sign(self):
+        c = Circuit()
+        p = MosfetParams(kp=1e-4, vt=0.5)
+        c.add_vsource("VD", "d", "0", 2.0)
+        c.add_vsource("VG", "g", "0", 2.0)
+        c.add_nmos("M1", "d", "g", "0", "0", 1e-6, 1e-6, p)
+        compiled = CompiledCircuit(c)
+        x = np.zeros(compiled.n)
+        x[compiled.index_of("d")] = 2.0
+        x[compiled.index_of("g")] = 2.0
+        currents = compiled.mosfet_currents(x)
+        assert currents[0] > 0.0  # current flows into the drain

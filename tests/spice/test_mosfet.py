@@ -1,0 +1,146 @@
+"""Level-1 MOSFET model tests: operating regions, symmetry, derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import Mosfet, MosfetParams, evaluate_level1
+from repro.spice.errors import NetlistError
+
+KP, VT, LAM = 120e-6, 0.5, 0.05
+BETA = KP * 4.0  # W/L = 4
+
+
+def nmos_current(vd, vg, vs):
+    i, gm, gds, a_is_d = evaluate_level1(vd, vg, vs, 1.0, BETA, VT, LAM)
+    return float(i), float(gm), float(gds), bool(a_is_d)
+
+
+class TestRegions:
+    def test_cutoff_zero_current(self):
+        i, gm, gds, _ = nmos_current(2.0, 0.3, 0.0)
+        assert i == 0.0
+        assert gm == 0.0
+        assert gds == 0.0
+
+    def test_saturation_value(self):
+        vgs, vds = 1.5, 2.0
+        i, _, _, _ = nmos_current(vds, vgs, 0.0)
+        vov = vgs - VT
+        expected = 0.5 * BETA * vov ** 2 * (1 + LAM * vds)
+        assert i == pytest.approx(expected, rel=1e-12)
+
+    def test_triode_value(self):
+        vgs, vds = 2.0, 0.4
+        i, _, _, _ = nmos_current(vds, vgs, 0.0)
+        vov = vgs - VT
+        expected = BETA * (vov * vds - 0.5 * vds ** 2) * (1 + LAM * vds)
+        assert i == pytest.approx(expected, rel=1e-12)
+
+    def test_current_continuous_at_boundary(self):
+        vgs = 1.5
+        vov = vgs - VT
+        below, _, _, _ = nmos_current(vov - 1e-9, vgs, 0.0)
+        above, _, _, _ = nmos_current(vov + 1e-9, vgs, 0.0)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_gds_continuous_at_boundary(self):
+        vgs = 1.5
+        vov = vgs - VT
+        _, _, gds_below, _ = nmos_current(vov - 1e-7, vgs, 0.0)
+        _, _, gds_above, _ = nmos_current(vov + 1e-7, vgs, 0.0)
+        assert gds_below == pytest.approx(gds_above, rel=1e-3)
+
+    def test_current_monotone_in_vgs(self):
+        currents = [nmos_current(2.0, vgs, 0.0)[0]
+                    for vgs in np.linspace(0.0, 2.5, 20)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_current_monotone_in_vds(self):
+        currents = [nmos_current(vds, 2.0, 0.0)[0]
+                    for vds in np.linspace(0.0, 2.5, 20)]
+        assert all(b >= a - 1e-15 for a, b in zip(currents, currents[1:]))
+
+
+class TestSymmetryAndPolarity:
+    def test_source_drain_swap_antisymmetric(self):
+        fwd, _, _, a_is_d = nmos_current(1.0, 2.0, 0.0)
+        # Exchange drain and source terminals: the conducting terminal
+        # pair swaps, the gate still sees the same overdrive relative to
+        # the lower terminal, so |current| is unchanged.
+        rev, _, _, a_is_d2 = nmos_current(0.0, 2.0, 1.0)
+        assert a_is_d
+        assert not a_is_d2
+        assert fwd == pytest.approx(rev, rel=1e-9)
+
+    def test_pmos_mirrors_nmos(self):
+        i_n, gm_n, gds_n, _ = evaluate_level1(
+            2.0, 1.5, 0.0, 1.0, BETA, VT, LAM)
+        i_p, gm_p, gds_p, _ = evaluate_level1(
+            -2.0, -1.5, 0.0, -1.0, BETA, VT, LAM)
+        assert float(i_p) == pytest.approx(-float(i_n), rel=1e-12)
+        assert float(gm_p) == pytest.approx(float(gm_n), rel=1e-12)
+        assert float(gds_p) == pytest.approx(float(gds_n), rel=1e-12)
+
+    def test_gm_matches_numeric_derivative(self):
+        vgs, vds, h = 1.2, 2.0, 1e-6
+        _, gm, _, _ = nmos_current(vds, vgs, 0.0)
+        i_hi, _, _, _ = nmos_current(vds, vgs + h, 0.0)
+        i_lo, _, _, _ = nmos_current(vds, vgs - h, 0.0)
+        assert gm == pytest.approx((i_hi - i_lo) / (2 * h), rel=1e-4)
+
+    def test_gds_matches_numeric_derivative_triode(self):
+        vgs, vds, h = 2.0, 0.5, 1e-6
+        _, _, gds, _ = nmos_current(vds, vgs, 0.0)
+        i_hi, _, _, _ = nmos_current(vds + h, vgs, 0.0)
+        i_lo, _, _, _ = nmos_current(vds - h, vgs, 0.0)
+        assert gds == pytest.approx((i_hi - i_lo) / (2 * h), rel=1e-4)
+
+
+class TestParams:
+    def test_rejects_bad_kp(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(kp=0.0, vt=0.5)
+
+    def test_rejects_bad_vt(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(kp=1e-4, vt=-0.1)
+
+    def test_copy_is_independent(self):
+        p = MosfetParams(kp=1e-4, vt=0.5, cgs=1e-15)
+        q = p.copy()
+        q.cgs = 9e-15
+        assert p.cgs == 1e-15
+
+
+class TestMosfetElement:
+    def test_beta_scales_with_geometry(self):
+        p = MosfetParams(kp=KP, vt=VT)
+        m = Mosfet("M1", "d", "g", "s", "b", "nmos", 2e-6, 0.5e-6, p)
+        assert m.beta == pytest.approx(KP * 4.0)
+
+    def test_sign_per_polarity(self):
+        p = MosfetParams(kp=KP, vt=VT)
+        n = Mosfet("Mn", "d", "g", "s", "b", "nmos", 1e-6, 1e-6, p)
+        q = Mosfet("Mp", "d", "g", "s", "b", "pmos", 1e-6, 1e-6, p)
+        assert n.sign == 1.0
+        assert q.sign == -1.0
+
+    def test_rejects_unknown_polarity(self):
+        p = MosfetParams(kp=KP, vt=VT)
+        with pytest.raises(NetlistError):
+            Mosfet("M1", "d", "g", "s", "b", "npn", 1e-6, 1e-6, p)
+
+    def test_intrinsic_caps_skip_zero(self):
+        p = MosfetParams(kp=KP, vt=VT, cgs=1e-15, cgd=0.0, cdb=2e-15)
+        m = Mosfet("M1", "d", "g", "s", "b", "nmos", 1e-6, 1e-6, p)
+        caps = m.intrinsic_capacitors()
+        suffixes = [c[0] for c in caps]
+        assert "cgs" in suffixes
+        assert "cgd" not in suffixes
+        assert "cdb" in suffixes
+
+    def test_intrinsic_caps_reference_terminals(self):
+        p = MosfetParams(kp=KP, vt=VT, cgs=1e-15)
+        m = Mosfet("M1", "nd", "ng", "ns", "nb", "nmos", 1e-6, 1e-6, p)
+        suffix, a, b, value = m.intrinsic_capacitors()[0]
+        assert (a, b) == ("ng", "ns")

@@ -1,0 +1,133 @@
+"""Circuit container tests, including the fault-injection primitives."""
+
+import pytest
+
+from repro.spice import Circuit, Resistor, is_ground
+from repro.spice.errors import NetlistError
+from repro.spice.mosfet import MosfetParams
+
+
+@pytest.fixture()
+def divider():
+    c = Circuit("divider")
+    c.add_vsource("V1", "in", "0", 1.0)
+    c.add_resistor("R1", "in", "mid", 100.0)
+    c.add_resistor("R2", "mid", "0", 100.0)
+    return c
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "vss", "VSS"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    def test_regular_node_is_not_ground(self):
+        assert not is_ground("out")
+
+
+class TestCircuitBasics:
+    def test_nodes_excludes_ground(self, divider):
+        assert divider.nodes() == ["in", "mid"]
+
+    def test_len_counts_elements(self, divider):
+        assert len(divider) == 3
+
+    def test_duplicate_name_rejected(self, divider):
+        with pytest.raises(NetlistError):
+            divider.add_resistor("R1", "a", "b", 1.0)
+
+    def test_element_lookup(self, divider):
+        assert divider.element("R1").resistance == 100.0
+
+    def test_missing_element_raises(self, divider):
+        with pytest.raises(NetlistError):
+            divider.element("R99")
+
+    def test_remove_returns_element(self, divider):
+        r = divider.remove("R2")
+        assert r.name == "R2"
+        assert "R2" not in divider
+
+    def test_remove_missing_raises(self, divider):
+        with pytest.raises(NetlistError):
+            divider.remove("nope")
+
+    def test_elements_filter_by_kind(self, divider):
+        assert len(divider.elements(Resistor)) == 2
+
+    def test_new_node_unique(self, divider):
+        n1 = divider.new_node("x")
+        divider.add_resistor("Rx", n1, "0", 1.0)
+        n2 = divider.new_node("x")
+        assert n1 != n2
+
+    def test_new_name_unique(self, divider):
+        name = divider.new_name("R1")
+        assert name not in divider
+
+    def test_only_elements_addable(self, divider):
+        with pytest.raises(NetlistError):
+            divider.add("not an element")
+
+
+class TestCopy:
+    def test_copy_is_independent(self, divider):
+        clone = divider.copy()
+        clone.element("R1").rewire("p", "elsewhere")
+        assert divider.element("R1").node("p") == "in"
+
+    def test_copy_preserves_values(self, divider):
+        clone = divider.copy()
+        assert clone.element("R2").resistance == 100.0
+        assert len(clone) == len(divider)
+
+
+class TestSeriesInsertion:
+    def test_insert_series_resistor_breaks_terminal(self, divider):
+        r_new = divider.insert_series_resistor("R2", "n", 50.0)
+        r2 = divider.element("R2")
+        assert r2.node("n") != "0"
+        assert r_new.resistance == 50.0
+        # new resistor joins the old node and the new node
+        assert set(r_new.nodes()) == {"0", r2.node("n")}
+
+    def test_insert_series_on_mosfet_source(self):
+        c = Circuit()
+        params = MosfetParams(kp=1e-4, vt=0.5)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_nmos("M1", "d", "g", "0", "0", 1e-6, 0.25e-6, params)
+        c.insert_series_resistor("M1", "s", 1e3)
+        assert c.element("M1").node("s") != "0"
+
+
+class TestSplitNet:
+    def test_split_moves_selected_sinks(self):
+        c = Circuit()
+        c.add_vsource("V1", "n1", "0", 1.0)
+        c.add_resistor("Ra", "n1", "a", 1.0)
+        c.add_resistor("Rb", "n1", "b", 1.0)
+        far = c.split_net("n1", [("Rb", "p")], 500.0)
+        assert c.element("Rb").node("p") == far
+        assert c.element("Ra").node("p") == "n1"
+
+    def test_split_rejects_wrong_terminal(self):
+        c = Circuit()
+        c.add_resistor("Ra", "n1", "a", 1.0)
+        with pytest.raises(NetlistError):
+            c.split_net("n1", [("Ra", "n")], 500.0)  # Ra:n is on 'a'
+
+    def test_split_needs_sinks(self):
+        c = Circuit()
+        c.add_resistor("Ra", "n1", "a", 1.0)
+        with pytest.raises(NetlistError):
+            c.split_net("n1", [], 500.0)
+
+
+class TestBridge:
+    def test_bridge_connects_nets(self):
+        c = Circuit()
+        c.add_resistor("Ra", "x", "0", 1.0)
+        c.add_resistor("Rb", "y", "0", 1.0)
+        bridge = c.add_bridge("x", "y", 2e3)
+        assert set(bridge.nodes()) == {"x", "y"}
+        assert bridge.resistance == 2e3

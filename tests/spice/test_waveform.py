@@ -1,0 +1,150 @@
+"""Waveform measurement tests on synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Waveform
+from repro.spice.errors import MeasurementError
+
+
+def make_pulse_wave(width=2.0, start=3.0, amplitude=1.0, n=1001, tmax=10.0):
+    """Trapezoid-ish pulse with 0.5-unit edges."""
+    t = np.linspace(0.0, tmax, n)
+    v = np.zeros_like(t)
+    edge = 0.5
+    rise = np.clip((t - start) / edge, 0, 1)
+    fall = np.clip((t - start - width) / edge, 0, 1)
+    v = amplitude * (rise - fall)
+    return Waveform(t, {"x": v})
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            Waveform(np.arange(5), {"x": np.arange(4)})
+
+    def test_missing_signal_raises(self):
+        wf = Waveform(np.arange(3.0), {"x": np.zeros(3)})
+        with pytest.raises(MeasurementError):
+            wf["y"]
+
+    def test_contains_and_nodes(self):
+        wf = Waveform(np.arange(3.0), {"b": np.zeros(3), "a": np.zeros(3)})
+        assert "a" in wf
+        assert wf.nodes() == ["a", "b"]
+
+
+class TestCrossings:
+    def test_rise_and_fall_detected(self):
+        wf = make_pulse_wave()
+        rises = wf.crossing_times("x", 0.5, "rise")
+        falls = wf.crossing_times("x", 0.5, "fall")
+        assert len(rises) == 1
+        assert len(falls) == 1
+        assert rises[0] == pytest.approx(3.25, abs=0.02)
+        assert falls[0] == pytest.approx(5.25, abs=0.02)
+
+    def test_direction_none_returns_both(self):
+        wf = make_pulse_wave()
+        assert len(wf.crossing_times("x", 0.5)) == 2
+
+    def test_first_crossing_with_after(self):
+        wf = make_pulse_wave()
+        t = wf.first_crossing("x", 0.5, after=4.0)
+        assert t == pytest.approx(5.25, abs=0.02)
+
+    def test_no_crossing_returns_none(self):
+        wf = make_pulse_wave(amplitude=0.3)
+        assert wf.first_crossing("x", 0.5) is None
+
+
+class TestPulseWidths:
+    def test_width_at_half_level(self):
+        wf = make_pulse_wave(width=2.0)
+        # 50% width of a trapezoid = plateau + one edge
+        assert wf.widest_pulse("x", 0.5) == pytest.approx(2.0, abs=0.05)
+
+    def test_dampened_pulse_is_zero(self):
+        wf = make_pulse_wave(amplitude=0.4)
+        assert wf.widest_pulse("x", 0.5) == 0.0
+
+    def test_low_polarity(self):
+        t = np.linspace(0, 10, 1001)
+        v = 1.0 - make_pulse_wave()["x"]
+        wf = Waveform(t, {"x": v})
+        assert wf.widest_pulse("x", 0.5, polarity="low") == pytest.approx(
+            2.0, abs=0.05)
+
+    def test_multiple_pulses_reports_widest(self):
+        t = np.linspace(0, 20, 2001)
+        v = np.zeros_like(t)
+        v[(t > 2) & (t < 3)] = 1.0     # width 1
+        v[(t > 8) & (t < 12)] = 1.0    # width 4
+        wf = Waveform(t, {"x": v})
+        assert wf.widest_pulse("x", 0.5) == pytest.approx(4.0, abs=0.05)
+        assert len(wf.pulse_widths("x", 0.5)) == 2
+
+    def test_pulse_clipped_by_window(self):
+        t = np.linspace(0, 10, 101)
+        v = np.where(t > 8, 1.0, 0.0)
+        wf = Waveform(t, {"x": v})
+        intervals = wf.pulse_intervals("x", 0.5)
+        assert len(intervals) == 1
+        assert intervals[0][1] == pytest.approx(10.0)
+
+    def test_signal_starting_high(self):
+        t = np.linspace(0, 10, 101)
+        v = np.where(t < 2, 1.0, 0.0)
+        wf = Waveform(t, {"x": v})
+        intervals = wf.pulse_intervals("x", 0.5)
+        assert intervals[0][0] == pytest.approx(0.0)
+
+    def test_bad_polarity_rejected(self):
+        wf = make_pulse_wave()
+        with pytest.raises(MeasurementError):
+            wf.pulse_widths("x", 0.5, polarity="sideways")
+
+
+class TestDelayAndSlew:
+    def test_propagation_delay_between_shifted_pulses(self):
+        t = np.linspace(0, 10, 1001)
+        a = make_pulse_wave(start=2.0)["x"]
+        b = make_pulse_wave(start=2.7)["x"]
+        wf = Waveform(t, {"a": a, "b": b})
+        d = wf.propagation_delay("a", "b", 0.5, in_direction="rise",
+                                 out_direction="rise")
+        assert d == pytest.approx(0.7, abs=0.03)
+
+    def test_delay_none_when_output_quiet(self):
+        t = np.linspace(0, 10, 1001)
+        a = make_pulse_wave(start=2.0)["x"]
+        wf = Waveform(t, {"a": a, "b": np.zeros_like(t)})
+        assert wf.propagation_delay("a", "b", 0.5) is None
+
+    def test_transition_time_rising(self):
+        wf = make_pulse_wave()
+        # edge spans 0.5 units from 0 to 1 -> 10/90 takes 0.4
+        tt = wf.transition_time("x", 0.1, 0.9, rising=True)
+        assert tt == pytest.approx(0.4, abs=0.03)
+
+    def test_transition_time_falling(self):
+        wf = make_pulse_wave()
+        tt = wf.transition_time("x", 0.1, 0.9, rising=False)
+        assert tt == pytest.approx(0.4, abs=0.03)
+
+    def test_peak_excursion(self):
+        wf = make_pulse_wave(amplitude=0.8)
+        assert wf.peak_excursion("x", 0.0) == pytest.approx(0.8, abs=1e-9)
+
+
+class TestWindow:
+    def test_window_restricts_time(self):
+        wf = make_pulse_wave()
+        sub = wf.window(4.0, 6.0)
+        assert sub.t[0] >= 4.0
+        assert sub.t[-1] <= 6.0
+
+    def test_value_at_interpolates(self):
+        t = np.array([0.0, 1.0])
+        wf = Waveform(t, {"x": np.array([0.0, 2.0])})
+        assert wf.value_at("x", 0.25) == pytest.approx(0.5)

@@ -1,0 +1,44 @@
+"""CLI tests (fast paths only; coverage/paths commands are exercised by
+the benchmark harness)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_waveforms_args(self):
+        args = build_parser().parse_args(
+            ["waveforms", "internal_rop", "--resistance", "5000"])
+        assert args.kind == "internal_rop"
+        assert args.resistance == 5000.0
+
+    def test_bad_fault_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["waveforms", "nuclear"])
+
+    def test_coverage_args(self):
+        args = build_parser().parse_args(["coverage", "bridging"])
+        assert args.fault == "bridging"
+
+
+class TestCommands:
+    def test_waveforms_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        rc = main(["waveforms", "internal_rop"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "internal open" in out
+        assert "dampened at output: True" in out
+
+    def test_transfer_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        rc = main(["transfer"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "w_in (ps)" in out
+        assert "asymptotic" in out

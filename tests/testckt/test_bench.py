@@ -1,0 +1,79 @@
+"""Assembled on-chip test structure (generator + path + detector)."""
+
+import pytest
+
+from repro.faults import (BridgingFault, ExternalOpen, InternalOpen,
+                          PULL_UP)
+from repro.montecarlo import VariationModel
+from repro.testckt import build_onchip_test, run_onchip_test
+
+DT = 4e-12
+
+
+class TestAssembly:
+    def test_structure(self):
+        bench = build_onchip_test()
+        assert bench.path.n_gates == 7
+        assert bench.generator.output_node == bench.path.input_node
+        assert bench.detector.observed_node == bench.path.output_node
+        # the ideal input driver is gone
+        assert "VIN" not in bench.circuit
+
+    def test_faulty_assembly(self):
+        bench = build_onchip_test(fault=ExternalOpen(2, 8e3))
+        assert "R_fault" in bench.circuit
+
+
+class TestHealthyOperation:
+    def test_healthy_instance_passes(self):
+        bench = build_onchip_test()
+        detected, wf = run_onchip_test(bench, dt=DT)
+        assert not detected
+        # the generated pulse reached the output
+        half = bench.tech.vdd_half
+        assert wf.widest_pulse(bench.path.output_node, half,
+                               "low") > 0.25e-9
+
+    def test_generated_pulse_width_reasonable(self):
+        bench = build_onchip_test()
+        _, wf = run_onchip_test(bench, dt=DT)
+        half = bench.tech.vdd_half
+        width = wf.widest_pulse(bench.path.input_node, half, "high")
+        assert 0.25e-9 < width < 0.9e-9
+
+
+class TestFaultDetection:
+    def test_internal_open_detected(self):
+        bench = build_onchip_test(fault=InternalOpen(2, PULL_UP, 8e3))
+        detected, _ = run_onchip_test(bench, dt=DT)
+        assert detected
+
+    def test_bridging_detected(self):
+        bench = build_onchip_test(fault=BridgingFault(2, 2.5e3))
+        detected, _ = run_onchip_test(bench, dt=DT)
+        assert detected
+
+    def test_small_open_escapes(self):
+        """A tiny open must NOT trip the detector (no false positive)."""
+        bench = build_onchip_test(fault=ExternalOpen(2, 300.0))
+        detected, _ = run_onchip_test(bench, dt=DT)
+        assert not detected
+
+
+class TestProcessTracking:
+    def test_slow_instance_still_passes(self):
+        """Generator, path and detector share the corner: a uniformly
+        slow die generates a wider pulse and still passes — the
+        self-tracking property the method claims."""
+        slow = VariationModel(seed=1234, sigma_global=0.10,
+                              sigma_local=0.0)
+        # force a slow corner by picking a seed whose kp factors < 1
+        bench = build_onchip_test(sample=slow)
+        detected, _ = run_onchip_test(bench, dt=DT)
+        assert not detected
+
+    def test_varied_instances_pass(self):
+        for seed in (3, 4):
+            bench = build_onchip_test(sample=VariationModel(seed=seed))
+            detected, _ = run_onchip_test(bench, dt=DT)
+            assert not detected, "false positive at seed {}".format(seed)

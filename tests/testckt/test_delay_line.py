@@ -1,0 +1,66 @@
+"""Delay-line tests."""
+
+import pytest
+
+from repro.cells import default_technology
+from repro.spice import Circuit, Pulse, run_transient
+from repro.testckt import build_delay_line
+
+DT = 4e-12
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def line_circuit(tech, n_stages):
+    c = Circuit()
+    c.add_vsource("VDD", "vdd", "0", tech.vdd)
+    c.add_vsource("VIN", "x", "0",
+                  Pulse(0, tech.vdd, delay=0.3e-9, rise=60e-12,
+                        width=3e-9, fall=60e-12))
+    line = build_delay_line(c, "dl", "x", "xd", tech, n_stages)
+    return c, line
+
+
+class TestStructure:
+    def test_stage_count_and_parity(self, tech):
+        c, line = line_circuit(tech, 5)
+        assert line.n_stages == 5
+        assert line.inverting
+        c, line = line_circuit(tech, 4)
+        assert not line.inverting
+
+    def test_rejects_empty_line(self, tech):
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        with pytest.raises(ValueError):
+            build_delay_line(c, "dl", "x", "xd", tech, 0)
+
+    def test_internal_nodes_are_namespaced(self, tech):
+        c, line = line_circuit(tech, 3)
+        assert "dl:d0" in c.nodes()
+
+
+class TestTiming:
+    def test_delay_grows_with_stage_count(self, tech):
+        half = tech.vdd_half
+        delays = []
+        for n in (3, 5, 7):
+            c, line = line_circuit(tech, n)
+            wf = run_transient(c, 2.5e-9, DT, record=["x", "xd"])
+            direction = "fall" if line.inverting else "rise"
+            d = wf.propagation_delay("x", "xd", half,
+                                     in_direction="rise",
+                                     out_direction=direction)
+            delays.append(d)
+        assert delays[0] < delays[1] < delays[2]
+        # roughly linear in n
+        assert delays[2] == pytest.approx(delays[0] * 7 / 3, rel=0.35)
+
+    def test_odd_line_inverts(self, tech):
+        c, line = line_circuit(tech, 3)
+        wf = run_transient(c, 2.5e-9, DT, record=["xd"])
+        assert wf.value_at("xd", 0.05e-9) > tech.vdd - 0.2  # idle: NOT 0
+        assert wf.value_at("xd", 2.2e-9) < 0.2

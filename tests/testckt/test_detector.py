@@ -1,0 +1,92 @@
+"""Transition-detector tests (transistor level)."""
+
+import pytest
+
+from repro.cells import default_technology
+from repro.spice import Circuit, Dc, Pulse, run_transient
+from repro.testckt import build_transition_detector
+
+DT = 4e-12
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def detector_circuit(tech, stimulus, **kwargs):
+    c = Circuit()
+    c.add_vsource("VDD", "vdd", "0", tech.vdd)
+    c.add_vsource("VX", "x", "0", stimulus)
+    det = build_transition_detector(c, "td", "x", tech, **kwargs)
+    return c, det
+
+
+def run_detector(tech, stimulus, tstop=4e-9, **kwargs):
+    c, det = detector_circuit(tech, stimulus, **kwargs)
+    det.arm(c, release_at=0.4e-9)
+    wf = run_transient(c, tstop, DT,
+                       record=["x", det.flag_node])
+    return det, wf
+
+
+class TestStructure:
+    def test_even_line_rejected(self, tech):
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        c.add_vsource("VX", "x", "0", 0.0)
+        with pytest.raises(ValueError):
+            build_transition_detector(c, "td", "x", tech,
+                                      n_delay_stages=2)
+
+    def test_arm_needs_vdd_source(self, tech):
+        c = Circuit()
+        c.add_vsource("SUPPLY", "vdd", "0", tech.vdd)  # wrong name
+        c.add_vsource("VX", "x", "0", 0.0)
+        det = build_transition_detector(c, "td", "x", tech)
+        with pytest.raises(ValueError):
+            det.arm(c)
+
+
+class TestDetection:
+    def test_quiet_node_keeps_flag_high(self, tech):
+        det, wf = run_detector(tech, Dc(0.0))
+        assert not det.transition_seen(wf, tech.vdd)
+        assert det.fault_detected(wf, tech.vdd)
+
+    def test_full_transition_fires(self, tech):
+        step = Pulse(0, tech.vdd, delay=1.2e-9, rise=60e-12, width=1.0)
+        det, wf = run_detector(tech, step)
+        assert det.transition_seen(wf, tech.vdd)
+
+    def test_wide_pulse_fires(self, tech):
+        pulse = Pulse(0, tech.vdd, delay=1.2e-9, rise=60e-12,
+                      width=0.5e-9, fall=60e-12)
+        det, wf = run_detector(tech, pulse)
+        assert det.transition_seen(wf, tech.vdd)
+
+    def test_tiny_pulse_rejected(self, tech):
+        """A pulse far below the detector's threshold must not fire it —
+        the omega_th floor is real circuit behaviour here."""
+        pulse = Pulse(0, tech.vdd, delay=1.2e-9, rise=30e-12,
+                      width=10e-12, fall=30e-12)
+        det, wf = run_detector(tech, pulse)
+        assert not det.transition_seen(wf, tech.vdd)
+
+    def test_effective_threshold_exists_and_is_monotone(self, tech):
+        """Sweeping the observed pulse width crosses a firing threshold;
+        flag voltage decreases monotonically-ish with width."""
+        flags = []
+        for width in (20e-12, 120e-12, 400e-12):
+            pulse = Pulse(0, tech.vdd, delay=1.2e-9, rise=50e-12,
+                          width=width, fall=50e-12)
+            det, wf = run_detector(tech, pulse)
+            flags.append(wf.value_at(det.flag_node, wf.t[-1]))
+        assert flags[0] > flags[-1]
+        assert flags[0] > tech.vdd_half        # rejected
+        assert flags[-1] < tech.vdd_half       # detected
+
+    def test_before_arming_flag_precharged(self, tech):
+        det, wf = run_detector(tech, Dc(0.0))
+        # during the precharge phase the flag sits at VDD
+        assert wf.value_at(det.flag_node, 0.3e-9) > tech.vdd - 0.3

@@ -1,0 +1,85 @@
+"""Pulse-generator tests (transistor level)."""
+
+import pytest
+
+from repro.cells import default_technology
+from repro.spice import Circuit, run_transient
+from repro.testckt import build_pulse_generator, trigger_stimulus
+
+DT = 4e-12
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def generator_circuit(tech, n_stages=5, kind="h"):
+    c = Circuit()
+    c.add_vsource("VDD", "vdd", "0", tech.vdd)
+    c.add_vsource("VTRIG", "trig", "0", trigger_stimulus(tech, at=0.5e-9))
+    c.add_capacitor("CL", "out", "0", 3 * tech.gate_input_capacitance())
+    gen = build_pulse_generator(c, "pg", "trig", "out", tech,
+                                n_stages=n_stages, kind=kind)
+    return c, gen
+
+
+class TestStructure:
+    def test_even_line_rejected(self, tech):
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        with pytest.raises(ValueError):
+            build_pulse_generator(c, "pg", "t", "o", tech, n_stages=4)
+
+    def test_bad_kind_rejected(self, tech):
+        c = Circuit()
+        c.add_vsource("VDD", "vdd", "0", tech.vdd)
+        with pytest.raises(ValueError):
+            build_pulse_generator(c, "pg", "t", "o", tech, kind="z")
+
+    def test_nominal_width_estimate(self, tech):
+        c, gen = generator_circuit(tech, 5)
+        assert gen.nominal_width() == pytest.approx(5 * 110e-12)
+
+
+class TestElectrical:
+    def test_h_generator_pulses_high(self, tech):
+        c, gen = generator_circuit(tech, 5, kind="h")
+        wf = run_transient(c, 3e-9, DT, record=["trig", "out"])
+        half = tech.vdd_half
+        assert wf.value_at("out", 0.05e-9) < 0.2       # idles low
+        width = wf.widest_pulse("out", half, "high")
+        assert 0.2e-9 < width < 1.2e-9
+
+    def test_l_generator_pulses_low(self, tech):
+        c, gen = generator_circuit(tech, 5, kind="l")
+        wf = run_transient(c, 3e-9, DT, record=["out"])
+        half = tech.vdd_half
+        assert wf.value_at("out", 0.05e-9) > tech.vdd - 0.2  # idles high
+        width = wf.widest_pulse("out", half, "low")
+        assert 0.2e-9 < width < 1.2e-9
+
+    def test_width_scales_with_delay_stages(self, tech):
+        widths = []
+        for n in (3, 5, 7):
+            c, _ = generator_circuit(tech, n)
+            wf = run_transient(c, 3.5e-9, DT, record=["out"])
+            widths.append(wf.widest_pulse("out", tech.vdd_half, "high"))
+        assert widths[0] < widths[1] < widths[2]
+
+    def test_single_pulse_only(self, tech):
+        c, _ = generator_circuit(tech, 5)
+        wf = run_transient(c, 4e-9, DT, record=["out"])
+        assert len(wf.pulse_widths("out", tech.vdd_half, "high")) == 1
+
+    def test_width_tracks_process_corner(self, tech):
+        """A slow corner widens the generated pulse — the locality
+        property the paper's robustness argument rests on."""
+        slow = tech.scaled({"kpn": 0.8, "kpp": 0.8})
+        c_nom, _ = generator_circuit(tech, 5)
+        c_slow, _ = generator_circuit(slow, 5)
+        wf_nom = run_transient(c_nom, 3.5e-9, DT, record=["out"])
+        wf_slow = run_transient(c_slow, 3.5e-9, DT, record=["out"])
+        w_nom = wf_nom.widest_pulse("out", tech.vdd_half, "high")
+        w_slow = wf_slow.widest_pulse("out", slow.vdd_half, "high")
+        assert w_slow > w_nom
