@@ -3,7 +3,17 @@
 These are the only benches where pytest-benchmark's statistics matter:
 they track the cost of the primitive operations every experiment is
 built from, so performance regressions in the MNA core show up here.
+
+``test_perf_campaign_runtime`` additionally writes ``BENCH_runtime.json``
+at the repo root (serial vs parallel samples/sec, cache-warm speedup) so
+later PRs can track the campaign runtime's perf trajectory.  Knobs:
+``REPRO_BENCH_SAMPLES`` (population size, default 32),
+``REPRO_BENCH_JOBS`` (parallel worker count, default min(4, CPUs)).
 """
+
+import json
+import os
+import time
 
 import pytest
 
@@ -83,3 +93,80 @@ def test_perf_atpg_sensitization(benchmark):
     # the picked site may or may not sensitize on its first path; the
     # bench tracks cost, not outcome
     assert result is None or result.assignment is not None
+
+
+def test_perf_campaign_runtime(tmp_path):
+    """Campaign runtime trajectory: serial vs process pool vs warm cache.
+
+    Runs the same ROP coverage sweep (the acceptance workload: one
+    measurement row per Monte Carlo sample) three ways and records the
+    numbers in ``BENCH_runtime.json``.  The parallel speedup is only
+    meaningful on a multi-core runner; ``cpu_count`` is recorded so the
+    JSON is interpretable either way.
+    """
+    from repro.core.coverage import sweep_pulse_measurements
+    from repro.faults import ExternalOpen
+    from repro.montecarlo import sample_population
+    from repro.runtime import (ProcessPoolExecutor, Runtime,
+                               SerialExecutor)
+
+    n_samples = int(os.environ.get("REPRO_BENCH_SAMPLES", "32"))
+    cpus = os.cpu_count() or 1
+    n_jobs = int(os.environ.get("REPRO_BENCH_JOBS", str(min(4, cpus))))
+    samples = sample_population(n_samples, base_seed=1)
+    fault = ExternalOpen(2, 8e3)
+    resistances = [2e3, 8e3, 32e3]
+    sweep_kwargs = dict(omega_in=0.40e-9, dt=5e-12)
+
+    def timed(runtime):
+        t0 = time.perf_counter()
+        rows = sweep_pulse_measurements(samples, fault, resistances,
+                                        runtime=runtime, **sweep_kwargs)
+        return rows, time.perf_counter() - t0
+
+    serial_rows, serial_s = timed(Runtime(executor=SerialExecutor()))
+    parallel_rows, parallel_s = timed(
+        Runtime(executor=ProcessPoolExecutor(n_jobs=n_jobs)))
+    cached = Runtime(cache=str(tmp_path / "cache"))
+    cold_rows, cold_s = timed(cached)
+    warm_rows, warm_s = timed(cached)
+
+    assert serial_rows == parallel_rows == cold_rows == warm_rows
+
+    report = {
+        "workload": {
+            "sweep": "external open C_pulse rows",
+            "n_samples": n_samples,
+            "resistances": resistances,
+            "dt": sweep_kwargs["dt"],
+            "omega_in": sweep_kwargs["omega_in"],
+        },
+        "cpu_count": cpus,
+        "serial": {
+            "wall_time_s": serial_s,
+            "samples_per_second": n_samples / serial_s,
+        },
+        "parallel": {
+            "n_jobs": n_jobs,
+            "wall_time_s": parallel_s,
+            "samples_per_second": n_samples / parallel_s,
+            "speedup_vs_serial": serial_s / parallel_s,
+        },
+        "cache": {
+            "cold_wall_time_s": cold_s,
+            "warm_wall_time_s": warm_s,
+            "warm_over_cold": warm_s / cold_s,
+        },
+    }
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_runtime.json")
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print("\nBENCH_runtime.json: serial {:.1f}s, {} jobs {:.1f}s "
+          "(x{:.2f}), warm cache {:.2f}s ({:.1%} of cold)".format(
+              serial_s, n_jobs, parallel_s, serial_s / parallel_s,
+              warm_s, warm_s / cold_s))
+
+    # The warm rerun must be dominated by cache lookups, not
+    # re-simulation: well under 10% of the cold run.
+    assert warm_s < 0.1 * cold_s

@@ -37,6 +37,10 @@ def _cmd_waveforms(args):
 
 def _cmd_coverage(args):
     config = ExperimentConfig.from_env()
+    if args.jobs is not None:
+        config.n_jobs = args.jobs
+    if args.cache_dir:
+        config.cache_dir = args.cache_dir
     if args.fault == "open":
         experiment = run_open_coverage(config)
     else:
@@ -58,6 +62,9 @@ def _cmd_coverage(args):
         series["del " + label] = (curve.resistances, curve.coverage)
     print()
     print(ascii_plot(series, x_label="R (ohm)", y_label="coverage"))
+    if experiment.report is not None:
+        print()
+        print(experiment.report.format_report())
     return 0
 
 
@@ -107,13 +114,21 @@ def _cmd_paths(args):
 def _cmd_campaign(args):
     from .logic import (DefectCalibration, generate_c432_like,
                         run_campaign)
+    from .montecarlo import sample_population
+    from .runtime import Runtime
 
+    runtime = Runtime.from_env(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        timeout=args.task_timeout)
     calibration = DefectCalibration.from_electrical(
         "external", [1e3, 4e3, 12e3, 40e3],
-        dt=5e-12 if args.fast else 3e-12)
+        dt=5e-12 if args.fast else 3e-12, runtime=runtime)
     netlist = generate_c432_like(seed=args.seed)
-    result = run_campaign(netlist, calibration,
-                          site_stride=args.stride)
+    samples = sample_population(args.samples, base_seed=7)
+    result = run_campaign(netlist, calibration, samples=samples,
+                          site_stride=args.stride,
+                          site_limit=args.sites, runtime=runtime)
     summary = result.summary()
     print("circuit: {}   fault sites: {}".format(summary["circuit"],
                                                  summary["n_sites"]))
@@ -127,6 +142,15 @@ def _cmd_campaign(args):
     if summary["best_r_min"] is not None:
         print("\nbest generated test detects R >= {:.0f} ohm".format(
             summary["best_r_min"]))
+    if result.report is not None:
+        print()
+        print(result.report.format_report())
+        if args.resume and result.report.cache_hits:
+            print("resumed: {} of {} sites came from the cache".format(
+                result.report.cache_hits, result.report.n_tasks))
+        if args.report_json:
+            result.report.to_json(args.report_json)
+            print("report written to {}".format(args.report_json))
     return 0
 
 
@@ -179,6 +203,11 @@ def build_parser():
     p = sub.add_parser("coverage",
                        help="C_pulse / C_del vs R (Figs. 6-9)")
     p.add_argument("fault", choices=["open", "bridging"])
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or 1; "
+                        "0 = all CPUs)")
+    p.add_argument("--cache-dir", default=None,
+                   help="enable the on-disk result cache at this path")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("transfer",
@@ -206,6 +235,24 @@ def build_parser():
                    help="fault-site subsampling stride")
     p.add_argument("--fast", action="store_true",
                    help="coarser electrical calibration")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or 1; "
+                        "0 = all CPUs)")
+    p.add_argument("--samples", type=int, default=5,
+                   help="Monte Carlo population size per site")
+    p.add_argument("--sites", type=int, default=None,
+                   help="limit the number of fault sites")
+    p.add_argument("--cache-dir", default=".repro_cache",
+                   help="result cache / checkpoint location")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable result caching and checkpointing")
+    p.add_argument("--resume", action="store_true",
+                   help="report how much of the campaign was resumed "
+                        "from a previous (possibly interrupted) run")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-site wall-clock budget in seconds")
+    p.add_argument("--report-json", default=None,
+                   help="write the run report to this JSON file")
     p.set_defaults(func=_cmd_campaign)
     return parser
 

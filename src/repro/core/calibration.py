@@ -9,12 +9,75 @@ Section 4's conservative, yield-first procedure:
   applied period droops by 10 % (see :mod:`repro.dft.reduced_clock`).
 """
 
+from ..cells import default_technology
 from ..dft import FlipFlopTiming, calibrate_t_star
-from ..montecarlo import NominalModel, run_population
+from ..montecarlo import NominalModel
+from ..runtime import CacheMiss, Runtime, stable_hash
 from .pulse import build_instance, measure_output_pulse, measure_path_delay
 from .sensing import PulseDetector
-from .transfer import (characterize_transfer, default_w_in_grid,
-                       recommended_w_in)
+from .transfer import (TransferCurve, characterize_transfer,
+                       default_w_in_grid, recommended_w_in)
+
+
+def _fault_free_pulse_task(payload):
+    """Worker: one fault-free instance's w_out at the calibrated ω_in."""
+    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    path = build_instance(sample=payload["sample"], fault=payload["fault"],
+                          tech=payload["tech"], **payload["path_kwargs"])
+    w_out, _ = measure_output_pulse(path, payload["omega_in"],
+                                    kind=payload["kind"], **kwargs)
+    return float(w_out)
+
+
+def _fault_free_delay_task(payload):
+    """Worker: one fault-free instance's path delay."""
+    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    path = build_instance(sample=payload["sample"], fault=payload["fault"],
+                          tech=payload["tech"], **payload["path_kwargs"])
+    d, _ = measure_path_delay(path, direction=payload["direction"],
+                              **kwargs)
+    return float(d)
+
+
+def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
+                      path_kwargs, runtime):
+    """Nominal transfer curve, memoised in the runtime's result cache
+    (it is the fixed, sample-independent part of every calibration)."""
+    cache = None if runtime is None else runtime.cache
+    key = None
+    if cache is not None:
+        resolved_tech = default_technology() if tech is None else tech
+        key = stable_hash("nominal-transfer", resolved_tech, fault,
+                          [float(w) for w in w_in_grid], kind, dt,
+                          path_kwargs)
+        try:
+            stored = cache.get(key)
+        except CacheMiss:
+            pass
+        else:
+            return TransferCurve(stored["w_in"], stored["w_out"],
+                                 kind=kind)
+    curve = characterize_transfer(builder, w_in_grid, kind=kind, dt=dt)
+    if key is not None:
+        cache.put(key, {"w_in": [float(w) for w in curve.w_in],
+                        "w_out": [float(w) for w in curve.w_out]})
+    return curve
+
+
+def _measure_population(task, samples, payload_base, label, runtime,
+                        report, key_parts):
+    """Run one per-sample measurement task over the population."""
+    runtime = Runtime() if runtime is None else runtime
+    payloads = [dict(payload_base, sample=sample) for sample in samples]
+    keys = None
+    if runtime.cache is not None:
+        keys = [stable_hash(label, key_parts, sample)
+                for sample in samples]
+    run = runtime.run(task, payloads, keys=keys, label=label,
+                      report=report)
+    if run.errors:
+        raise run.errors[min(run.errors)]
+    return run.values
 
 
 class PulseTestCalibration:
@@ -41,7 +104,7 @@ class PulseTestCalibration:
 def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
                          w_in_grid=None, sensing_tolerance=0.1,
                          margin=0.03e-9, dt=None, omega_in=None,
-                         **path_kwargs):
+                         runtime=None, report=None, **path_kwargs):
     """Select (ω_in*, ω_th*) for the path described by ``path_kwargs``.
 
     Steps (Sec. 5 rule + Sec. 4 yield constraint):
@@ -60,19 +123,18 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
         return build_instance(sample=NominalModel(), fault=fault, tech=tech,
                               **path_kwargs)
 
-    curve = characterize_transfer(nominal_builder, w_in_grid, kind=kind,
-                                  dt=dt)
+    curve = _nominal_transfer(nominal_builder, w_in_grid, kind, dt,
+                              fault, tech, path_kwargs, runtime)
     if omega_in is None:
         omega_in = recommended_w_in(curve, margin=margin)
 
-    def worker(sample):
-        path = build_instance(sample=sample, fault=fault, tech=tech,
-                              **path_kwargs)
-        kwargs = {} if dt is None else {"dt": dt}
-        w_out, _ = measure_output_pulse(path, omega_in, kind=kind, **kwargs)
-        return w_out
-
-    wouts = run_population(worker, samples).values
+    resolved_tech = default_technology() if tech is None else tech
+    wouts = _measure_population(
+        _fault_free_pulse_task, samples,
+        dict(fault=fault, tech=tech, dt=dt, omega_in=float(omega_in),
+             kind=kind, path_kwargs=path_kwargs),
+        "pulse-calibration", runtime, report,
+        [resolved_tech, fault, float(omega_in), kind, dt, path_kwargs])
     weakest = min(wouts)
     if weakest <= 0.0:
         raise ValueError(
@@ -86,21 +148,20 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
 
 def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
                          flipflop=None, skew_tolerance=0.1, dt=None,
-                         **path_kwargs):
+                         runtime=None, report=None, **path_kwargs):
     """Calibrate the reduced-clock baseline on the same population.
 
     Returns ``(DelayFaultTest, fault_free_delays)``.
     """
     flipflop = FlipFlopTiming() if flipflop is None else flipflop
 
-    def worker(sample):
-        path = build_instance(sample=sample, fault=fault, tech=tech,
-                              **path_kwargs)
-        kwargs = {} if dt is None else {"dt": dt}
-        d, _ = measure_path_delay(path, direction=direction, **kwargs)
-        return d
-
-    delays = run_population(worker, samples).values
+    resolved_tech = default_technology() if tech is None else tech
+    delays = _measure_population(
+        _fault_free_delay_task, samples,
+        dict(fault=fault, tech=tech, dt=dt, direction=direction,
+             path_kwargs=path_kwargs),
+        "delay-calibration", runtime, report,
+        [resolved_tech, fault, direction, dt, path_kwargs])
     test = calibrate_t_star(delays, samples, flipflop,
                             skew_tolerance=skew_tolerance)
     return test, delays

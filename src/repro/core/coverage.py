@@ -6,12 +6,22 @@ R point.  Coverage is then evaluated for every tested setting of the test
 parameter (clock-period factor T'/T* or sensing-threshold factor
 ω_th'/ω_th*) from the same measurements — the measurement is independent
 of the decision threshold.
+
+The per-sample sweep rows are embarrassingly parallel, so they are
+dispatched through the campaign runtime (:mod:`repro.runtime`): pass a
+``runtime`` to fan rows out over a process pool and/or skip rows whose
+content-addressed result is already cached.  ``fault_family`` may be a
+:class:`~repro.faults.models.FaultSpec` prototype (preferred — picklable
+and cacheable; the row worker rescales it with ``with_resistance``) or a
+legacy ``r -> FaultSpec`` callable (serial in-process path only).
 """
 
 import math
 
-from ..faults import inject, set_fault_resistance
+from ..cells import default_technology
+from ..faults import FaultSpec, inject, set_fault_resistance
 from ..montecarlo import run_population, wilson_interval
+from ..runtime import Runtime, stable_hash
 from .pulse import build_instance, measure_output_pulse, measure_path_delay
 
 
@@ -57,46 +67,105 @@ class CoverageResult:
         return sorted(self.curves)
 
 
+# ----------------------------------------------------------------------
+# Sweep row tasks (module-level: picklable for the process pool)
+# ----------------------------------------------------------------------
+
+def _sweep_row_task(payload):
+    """One sample's measurement row over the resistance grid."""
+    resistances = payload["resistances"]
+    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    base = build_instance(sample=payload["sample"], tech=payload["tech"],
+                          **payload["path_kwargs"])
+    fault = payload["fault"].with_resistance(resistances[0])
+    faulty = inject(base, fault)
+    row = []
+    for r in resistances:
+        set_fault_resistance(faulty, r)
+        if payload["measure"] == "pulse":
+            value, _ = measure_output_pulse(
+                faulty, payload["omega_in"], kind=payload["kind"],
+                **kwargs)
+        else:
+            value, _ = measure_path_delay(
+                faulty, direction=payload["direction"], **kwargs)
+        row.append(float(value))
+    return row
+
+
+def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
+                report, path_kwargs, **measure_spec):
+    """Dispatch one row task per sample through the runtime."""
+    tech = default_technology() if tech is None else tech
+    runtime = Runtime() if runtime is None else runtime
+    resistances = [float(r) for r in resistances]
+    payloads = [dict(sample=sample, fault=fault, resistances=resistances,
+                     tech=tech, dt=dt, path_kwargs=path_kwargs,
+                     **measure_spec)
+                for sample in samples]
+    keys = None
+    if runtime.cache is not None:
+        keys = [stable_hash("sweep-row", tech, sample, fault, resistances,
+                            dt, path_kwargs, measure_spec)
+                for sample in samples]
+    run = runtime.run(_sweep_row_task, payloads, keys=keys, label=label,
+                      report=report)
+    if run.errors:
+        raise run.errors[min(run.errors)]
+    return run.values
+
+
 def sweep_pulse_measurements(samples, fault_family, resistances,
                              omega_in, kind="h", tech=None, dt=None,
-                             **path_kwargs):
+                             runtime=None, report=None, **path_kwargs):
     """Per-sample, per-R output pulse widths for a fault family.
 
-    ``fault_family(r)`` maps a resistance to a fault spec.
+    ``fault_family`` is a fault prototype (any resistance) or a legacy
+    ``r -> FaultSpec`` callable.
     """
-    kwargs = {} if dt is None else {"dt": dt}
+    if not isinstance(fault_family, FaultSpec):
+        kwargs = {} if dt is None else {"dt": dt}
 
-    def worker(sample):
-        base = build_instance(sample=sample, tech=tech, **path_kwargs)
-        faulty = inject(base, fault_family(resistances[0]))
-        row = []
-        for r in resistances:
-            set_fault_resistance(faulty, r)
-            w_out, _ = measure_output_pulse(faulty, omega_in, kind=kind,
-                                            **kwargs)
-            row.append(w_out)
-        return row
+        def worker(sample):
+            base = build_instance(sample=sample, tech=tech, **path_kwargs)
+            faulty = inject(base, fault_family(resistances[0]))
+            row = []
+            for r in resistances:
+                set_fault_resistance(faulty, r)
+                w_out, _ = measure_output_pulse(faulty, omega_in,
+                                                kind=kind, **kwargs)
+                row.append(w_out)
+            return row
 
-    return run_population(worker, samples).values
+        return run_population(worker, samples).values
+    return _sweep_rows(samples, fault_family, resistances, tech, dt,
+                       runtime, "pulse-sweep", report, path_kwargs,
+                       measure="pulse", omega_in=float(omega_in),
+                       kind=kind)
 
 
 def sweep_delay_measurements(samples, fault_family, resistances,
                              direction="rise", tech=None, dt=None,
-                             **path_kwargs):
+                             runtime=None, report=None, **path_kwargs):
     """Per-sample, per-R path delays for a fault family."""
-    kwargs = {} if dt is None else {"dt": dt}
+    if not isinstance(fault_family, FaultSpec):
+        kwargs = {} if dt is None else {"dt": dt}
 
-    def worker(sample):
-        base = build_instance(sample=sample, tech=tech, **path_kwargs)
-        faulty = inject(base, fault_family(resistances[0]))
-        row = []
-        for r in resistances:
-            set_fault_resistance(faulty, r)
-            d, _ = measure_path_delay(faulty, direction=direction, **kwargs)
-            row.append(d)
-        return row
+        def worker(sample):
+            base = build_instance(sample=sample, tech=tech, **path_kwargs)
+            faulty = inject(base, fault_family(resistances[0]))
+            row = []
+            for r in resistances:
+                set_fault_resistance(faulty, r)
+                d, _ = measure_path_delay(faulty, direction=direction,
+                                          **kwargs)
+                row.append(d)
+            return row
 
-    return run_population(worker, samples).values
+        return run_population(worker, samples).values
+    return _sweep_rows(samples, fault_family, resistances, tech, dt,
+                       runtime, "delay-sweep", report, path_kwargs,
+                       measure="delay", direction=direction)
 
 
 def pulse_coverage(raw, samples, resistances, calibration,

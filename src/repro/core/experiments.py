@@ -15,6 +15,7 @@ from ..cells import default_technology
 from ..faults import (BridgingFault, ExternalOpen, InternalOpen, PULL_UP,
                       inject)
 from ..montecarlo import NominalModel, sample_population
+from ..runtime import Runtime, RunReport, stable_hash
 from .calibration import calibrate_delay_test, calibrate_pulse_test
 from .coverage import (delay_coverage, pulse_coverage,
                        sweep_delay_measurements, sweep_pulse_measurements)
@@ -24,11 +25,17 @@ from ..spice import run_transient
 
 
 class ExperimentConfig:
-    """Knobs shared by the experiment drivers."""
+    """Knobs shared by the experiment drivers.
+
+    ``n_jobs``/``cache_dir`` describe the campaign runtime: worker
+    process count (1 = serial, 0 = all CPUs) and the result-cache
+    location (None disables caching).  :meth:`from_env` reads them from
+    ``REPRO_JOBS`` and ``REPRO_CACHE_DIR``.
+    """
 
     def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
                  rop_resistances=None, bridging_resistances=None,
-                 n_paths=10):
+                 n_paths=10, n_jobs=None, cache_dir=None):
         self.n_samples = int(n_samples)
         self.dt = float(dt)
         self.seed = int(seed)
@@ -40,10 +47,17 @@ class ExperimentConfig:
             list(np.geomspace(800.0, 30e3, 10))
             if bridging_resistances is None else list(bridging_resistances))
         self.n_paths = int(n_paths)
+        self.n_jobs = None if n_jobs is None else int(n_jobs)
+        self.cache_dir = cache_dir
 
     @classmethod
     def from_env(cls, **overrides):
-        """Default config, scaled down when ``REPRO_FAST`` is set."""
+        """Default config, scaled down when ``REPRO_FAST`` is set.
+
+        Runtime knobs: ``REPRO_JOBS`` sets the worker count (unset: 1 =
+        serial; 0 = all CPUs), ``REPRO_CACHE_DIR`` enables the on-disk
+        result cache at the given path.
+        """
         if os.environ.get("REPRO_FAST"):
             overrides.setdefault("n_samples", 5)
             overrides.setdefault("dt", 4e-12)
@@ -52,14 +66,24 @@ class ExperimentConfig:
             overrides.setdefault(
                 "bridging_resistances", list(np.geomspace(1e3, 30e3, 6)))
             overrides.setdefault("n_paths", 5)
+        if os.environ.get("REPRO_JOBS"):
+            overrides.setdefault("n_jobs", int(os.environ["REPRO_JOBS"]))
+        if os.environ.get("REPRO_CACHE_DIR"):
+            overrides.setdefault("cache_dir",
+                                 os.environ["REPRO_CACHE_DIR"])
         return cls(**overrides)
 
     def samples(self):
         return sample_population(self.n_samples, base_seed=self.seed)
 
+    def runtime(self):
+        """The campaign runtime this config describes."""
+        return Runtime.from_config(self)
+
     def __repr__(self):
-        return ("ExperimentConfig(n={}, dt={:.0f}ps, stage={})"
-                .format(self.n_samples, self.dt * 1e12, self.fault_stage))
+        return ("ExperimentConfig(n={}, dt={:.0f}ps, stage={}, jobs={})"
+                .format(self.n_samples, self.dt * 1e12, self.fault_stage,
+                        self.n_jobs or 1))
 
 
 # ----------------------------------------------------------------------
@@ -128,66 +152,61 @@ class CoverageExperiment:
     """Both methods' coverage curves over a resistance grid."""
 
     def __init__(self, resistances, pulse, delay, calibration, dftest,
-                 samples):
+                 samples, report=None):
         self.resistances = list(resistances)
         self.pulse = pulse          # CoverageResult (C_pulse)
         self.delay = delay          # CoverageResult (C_del)
         self.calibration = calibration
         self.dftest = dftest
         self.samples = list(samples)
+        #: runtime :class:`~repro.runtime.RunReport` (telemetry)
+        self.report = report
 
 
-def run_open_coverage(config=None, tech=None):
+def _run_coverage(config, tech, fault_proto, resistances, label,
+                  runtime):
+    """Shared body of the Figs. 6-9 drivers: calibrate both methods on
+    the fault-free population, then sweep one fault prototype."""
+    samples = config.samples()
+    runtime = config.runtime() if runtime is None else runtime
+    report = RunReport(label)
+
+    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt,
+                                       runtime=runtime, report=report)
+    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt,
+                                     runtime=runtime, report=report)
+    raw_pulse = sweep_pulse_measurements(
+        samples, fault_proto, resistances, calibration.omega_in,
+        tech=tech, dt=config.dt, runtime=runtime, report=report)
+    raw_delay = sweep_delay_measurements(
+        samples, fault_proto, resistances, tech=tech, dt=config.dt,
+        runtime=runtime, report=report)
+    return CoverageExperiment(
+        resistances,
+        pulse_coverage(raw_pulse, samples, resistances, calibration),
+        delay_coverage(raw_delay, samples, resistances, dftest),
+        calibration, dftest, samples, report=report)
+
+
+def run_open_coverage(config=None, tech=None, runtime=None):
     """Figs. 6 & 7: external resistive open at the reference stage.
 
     The paper uses the external open as "the worst case for our method".
     """
     config = ExperimentConfig.from_env() if config is None else config
-    samples = config.samples()
-    resistances = config.rop_resistances
-    stage = config.fault_stage
-
-    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt)
-    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt)
-
-    def family(r):
-        return ExternalOpen(stage, r)
-
-    raw_pulse = sweep_pulse_measurements(
-        samples, family, resistances, calibration.omega_in, tech=tech,
-        dt=config.dt)
-    raw_delay = sweep_delay_measurements(
-        samples, family, resistances, tech=tech, dt=config.dt)
-    return CoverageExperiment(
-        resistances,
-        pulse_coverage(raw_pulse, samples, resistances, calibration),
-        delay_coverage(raw_delay, samples, resistances, dftest),
-        calibration, dftest, samples)
+    return _run_coverage(
+        config, tech, ExternalOpen(config.fault_stage,
+                                   config.rop_resistances[0]),
+        config.rop_resistances, "open-coverage", runtime)
 
 
-def run_bridging_coverage(config=None, tech=None):
+def run_bridging_coverage(config=None, tech=None, runtime=None):
     """Figs. 8 & 9: resistive bridging at the reference stage."""
     config = ExperimentConfig.from_env() if config is None else config
-    samples = config.samples()
-    resistances = config.bridging_resistances
-    stage = config.fault_stage
-
-    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt)
-    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt)
-
-    def family(r):
-        return BridgingFault(stage, r)
-
-    raw_pulse = sweep_pulse_measurements(
-        samples, family, resistances, calibration.omega_in, tech=tech,
-        dt=config.dt)
-    raw_delay = sweep_delay_measurements(
-        samples, family, resistances, tech=tech, dt=config.dt)
-    return CoverageExperiment(
-        resistances,
-        pulse_coverage(raw_pulse, samples, resistances, calibration),
-        delay_coverage(raw_delay, samples, resistances, dftest),
-        calibration, dftest, samples)
+    return _run_coverage(
+        config, tech, BridgingFault(config.fault_stage,
+                                    config.bridging_resistances[0]),
+        config.bridging_resistances, "bridging-coverage", runtime)
 
 
 # ----------------------------------------------------------------------
@@ -206,12 +225,24 @@ class TransferExperiment:
         return max(values) - min(values)
 
 
+def _transfer_scatter_task(payload):
+    """Worker: one sample's w_out at every candidate probe width."""
+    path = build_instance(sample=payload["sample"], tech=payload["tech"])
+    row = []
+    for w_in in payload["probe_widths"]:
+        w_out, _ = measure_output_pulse(path, w_in, kind=payload["kind"],
+                                        dt=payload["dt"])
+        row.append(float(w_out))
+    return row
+
+
 def run_transfer_experiment(config=None, tech=None, probe_widths=None,
-                            kind="h"):
+                            kind="h", runtime=None):
     """Fig. 10: nominal w_out(w_in) plus the MC scatter at a set of
     candidate ω_in values (paper: 0.30 ... 0.50 ns)."""
     config = ExperimentConfig.from_env() if config is None else config
     samples = config.samples()
+    runtime = config.runtime() if runtime is None else runtime
     if probe_widths is None:
         probe_widths = [0.30e-9, 0.35e-9, 0.40e-9, 0.45e-9, 0.50e-9]
 
@@ -221,15 +252,23 @@ def run_transfer_experiment(config=None, tech=None, probe_widths=None,
     nominal = characterize_transfer(
         nominal_builder, default_w_in_grid(tech), kind=kind, dt=config.dt)
 
-    scatter = {}
-    for w_in in probe_widths:
-        values = []
-        for sample in samples:
-            path = build_instance(sample=sample, tech=tech)
-            w_out, _ = measure_output_pulse(path, w_in, kind=kind,
-                                            dt=config.dt)
-            values.append(w_out)
-        scatter[w_in] = values
+    resolved_tech = default_technology() if tech is None else tech
+    payloads = [dict(sample=sample, tech=tech,
+                     probe_widths=[float(w) for w in probe_widths],
+                     kind=kind, dt=config.dt)
+                for sample in samples]
+    keys = None
+    if runtime.cache is not None:
+        keys = [stable_hash("transfer-scatter", resolved_tech, sample,
+                            [float(w) for w in probe_widths], kind,
+                            config.dt)
+                for sample in samples]
+    run = runtime.run(_transfer_scatter_task, payloads, keys=keys,
+                      label="transfer-scatter")
+    if run.errors:
+        raise run.errors[min(run.errors)]
+    scatter = {w_in: [row[i] for row in run.values]
+               for i, w_in in enumerate(probe_widths)}
     return TransferExperiment(nominal, probe_widths, scatter)
 
 
@@ -258,7 +297,7 @@ class PathCharacterization:
 
 def run_path_characterization(config=None, tech=None, netlist=None,
                               fault_net=None, sensing_tolerance=0.1,
-                              refine_best=True):
+                              refine_best=True, runtime=None):
     """Fig. 11: characterise candidate paths through a fault site.
 
     Pipeline (Sec. 5): enumerate structural paths through the fault,
@@ -276,13 +315,14 @@ def run_path_characterization(config=None, tech=None, netlist=None,
                          path_model_from_netlist, paths_through)
 
     config = ExperimentConfig.from_env() if config is None else config
+    runtime = config.runtime() if runtime is None else runtime
     netlist = generate_c432_like() if netlist is None else netlist
     if fault_net is None:
         fault_net = _pick_fault_site(netlist)
 
     calibration = DefectCalibration.from_electrical(
         "external", config.rop_resistances, tech=tech, dt=config.dt,
-        stage=config.fault_stage)
+        stage=config.fault_stage, runtime=runtime)
 
     samples = config.samples()
     entries = []

@@ -9,6 +9,7 @@ the circuit-level coverage as a function of the defect resistance.
 """
 
 from ..montecarlo import sample_population
+from ..runtime import Runtime, RunReport, stable_hash
 from .fault_sim import characterize_path_for_test, minimum_detectable_resistance
 from .paths import paths_through
 from .pulse_model import path_model_from_netlist
@@ -18,6 +19,7 @@ TESTED = "tested"
 UNSENSITIZABLE = "unsensitizable"
 NO_PATH = "no_path"
 UNDETECTABLE = "undetectable"
+ERROR = "error"
 
 
 class FaultSiteResult:
@@ -38,6 +40,28 @@ class FaultSiteResult:
     def tested(self):
         return self.status == TESTED
 
+    def to_dict(self):
+        """Plain JSON-serialisable form (runtime cache entries)."""
+        return {
+            "net": self.net,
+            "status": self.status,
+            "path": None if self.path is None else list(self.path),
+            "vector": self.vector,
+            "omega_in": self.omega_in,
+            "omega_th": self.omega_th,
+            "r_min": self.r_min,
+            "paths_tried": self.paths_tried,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["net"], data["status"], path=data.get("path"),
+                   vector=data.get("vector"),
+                   omega_in=data.get("omega_in"),
+                   omega_th=data.get("omega_th"),
+                   r_min=data.get("r_min"),
+                   paths_tried=data.get("paths_tried", 0))
+
     def __repr__(self):
         return "FaultSiteResult({}, {})".format(self.net, self.status)
 
@@ -45,10 +69,12 @@ class FaultSiteResult:
 class CampaignResult:
     """Aggregated campaign outcome."""
 
-    def __init__(self, circuit_name, sites, calibration):
+    def __init__(self, circuit_name, sites, calibration, report=None):
         self.circuit_name = circuit_name
         self.sites = list(sites)
         self.calibration = calibration
+        #: runtime :class:`~repro.runtime.RunReport` (telemetry)
+        self.report = report
 
     # ------------------------------------------------------------------
 
@@ -143,19 +169,34 @@ def evaluate_fault_site(netlist, net, calibration, timing=None,
     return FaultSiteResult(net, UNSENSITIZABLE, paths_tried=tried)
 
 
+def _site_task(payload):
+    """Worker: evaluate one fault site; returns a plain dict (cacheable)."""
+    result = evaluate_fault_site(
+        payload["netlist"], payload["net"], payload["calibration"],
+        timing=payload["timing"], samples=payload["samples"],
+        max_paths=payload["max_paths"],
+        sensing_tolerance=payload["sensing_tolerance"])
+    return result.to_dict()
+
+
 def run_campaign(netlist, calibration, timing=None, samples=None,
                  max_paths=12, site_limit=None, site_stride=1,
-                 sensing_tolerance=0.1):
+                 sensing_tolerance=0.1, runtime=None, progress=None):
     """Generate pulse tests for every gate-output net of ``netlist``.
 
     ``site_limit``/``site_stride`` subsample the fault list for quick
     runs.  ``calibration`` is a
     :class:`~repro.logic.fault_sim.DefectCalibration` (built once,
-    electrically).
+    electrically).  ``runtime`` routes the per-site work through the
+    campaign runtime (parallel execution, result caching and
+    checkpoint/resume); a site whose evaluation fails — even after the
+    executor's retries — is reported with status ``"error"`` instead of
+    killing the campaign.
     """
     timing = GateTiming() if timing is None else timing
     if samples is None:
         samples = sample_population(5, base_seed=7)
+    runtime = Runtime() if runtime is None else runtime
 
     sites = [net for net in netlist.topological_nets()
              if netlist.gate_driving(net) is not None]
@@ -163,9 +204,26 @@ def run_campaign(netlist, calibration, timing=None, samples=None,
     if site_limit is not None:
         sites = sites[:site_limit]
 
+    payloads = [dict(netlist=netlist, net=net, calibration=calibration,
+                     timing=timing, samples=samples, max_paths=max_paths,
+                     sensing_tolerance=sensing_tolerance)
+                for net in sites]
+    keys = None
+    if runtime.cache is not None:
+        keys = [stable_hash("fault-site", netlist, net, calibration,
+                            timing, samples, max_paths,
+                            sensing_tolerance)
+                for net in sites]
+    report = RunReport("campaign:{}".format(netlist.name))
+    run = runtime.run(_site_task, payloads, keys=keys,
+                      label="campaign:{}".format(netlist.name),
+                      report=report, progress=progress)
     results = []
-    for net in sites:
-        results.append(evaluate_fault_site(
-            netlist, net, calibration, timing=timing, samples=samples,
-            max_paths=max_paths, sensing_tolerance=sensing_tolerance))
-    return CampaignResult(netlist.name, results, calibration)
+    for index, net in enumerate(sites):
+        value = run.value_or_none(index)
+        if value is None:
+            results.append(FaultSiteResult(net, ERROR))
+        else:
+            results.append(FaultSiteResult.from_dict(value))
+    return CampaignResult(netlist.name, results, calibration,
+                          report=report)

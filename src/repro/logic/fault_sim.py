@@ -87,9 +87,24 @@ class DefectCalibration:
 
     # ------------------------------------------------------------------
 
+    def to_dict(self):
+        """Plain JSON-serialisable form (runtime cache entries)."""
+        return {
+            "resistances": [float(r) for r in self.resistances],
+            "extra_rise": [float(v) for v in self.extra_rise],
+            "extra_fall": [float(v) for v in self.extra_fall],
+            "theta_shift": [float(v) for v in self.theta_shift],
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["resistances"], data["extra_rise"],
+                   data["extra_fall"], data["theta_shift"], data["kind"])
+
     @classmethod
     def from_electrical(cls, kind, resistances, tech=None, stage=2,
-                        dt=None, **path_kwargs):
+                        dt=None, runtime=None, **path_kwargs):
         """Build the table by electrical simulation on a reference path.
 
         For every R the defect is injected at ``stage`` of a reference
@@ -98,12 +113,25 @@ class DefectCalibration:
         propagatable pulse width of the whole path is found by bisection
         to extract the threshold shift.
         """
+        from ..cells import default_technology
         from ..core.pulse import build_instance, measure_path_delay
         from ..core.transfer import minimum_propagatable_width
         from ..faults import (ExternalOpen, InternalOpen, PULL_DOWN,
                               PULL_UP, inject, set_fault_resistance)
+        from ..runtime import CacheMiss, stable_hash
 
         resistances = sorted(float(r) for r in resistances)
+        cache = None if runtime is None else runtime.cache
+        key = None
+        if cache is not None:
+            resolved_tech = (default_technology() if tech is None
+                             else tech)
+            key = stable_hash("defect-calibration", kind, resistances,
+                              resolved_tech, stage, dt, path_kwargs)
+            try:
+                return cls.from_dict(cache.get(key))
+            except CacheMiss:
+                pass
         if kind == "internal_pullup":
             fault = InternalOpen(stage, PULL_UP, resistances[0])
         elif kind == "internal_pulldown":
@@ -131,7 +159,11 @@ class DefectCalibration:
             extra_rise.append(_finite(d_rise - d_rise_ff))
             extra_fall.append(_finite(d_fall - d_fall_ff))
             theta_shift.append(_finite(w_min - w_min_ff))
-        return cls(resistances, extra_rise, extra_fall, theta_shift, kind)
+        calibration = cls(resistances, extra_rise, extra_fall,
+                          theta_shift, kind)
+        if key is not None:
+            cache.put(key, calibration.to_dict())
+        return calibration
 
 
 def _finite(value, ceiling=1e-6):

@@ -150,6 +150,13 @@ class LogicNetlist:
     def gates(self):
         return list(self._gates_by_output.values())
 
+    def cache_token(self):
+        """Stable structural description for runtime cache keys."""
+        return [self.name, list(self.primary_inputs),
+                list(self.primary_outputs),
+                sorted((g.name, g.kind, list(g.inputs), g.output)
+                       for g in self._gates_by_output.values())]
+
     def gate_driving(self, net):
         return self._gates_by_output.get(net)
 

@@ -4,66 +4,113 @@ Deliberately simple: a worker function is applied to every
 :class:`~repro.montecarlo.sampling.VariationModel` in a population.
 Failures can either propagate or be collected, and a progress callback
 keeps long electrical sweeps observable.
+
+``run_population`` is now a thin shim over the campaign runtime
+(:mod:`repro.runtime`): the default path preserves the historical
+serial semantics exactly, while passing an executor routes the
+population through a parallel backend.  Failed samples are marked with
+the :data:`~repro.runtime.executors.FAILED` sentinel internally, so a
+worker that legitimately returns ``None`` is distinguishable from a
+failed one.
 """
+
+from ..runtime.executors import FAILED, SerialExecutor
 
 
 class MonteCarloResult:
-    """Results of a population run, aligned with the sample list."""
+    """Results of a population run, aligned with the sample list.
+
+    Failed samples (collect mode) are stored internally as the
+    ``FAILED`` sentinel; the public :attr:`values` view renders them as
+    ``None`` for backward compatibility, while :meth:`ok_values` keeps
+    legitimate ``None`` results and drops only genuine failures.
+    """
 
     def __init__(self, samples, values, errors):
         self.samples = list(samples)
-        self.values = list(values)
+        self._values = list(values)
         #: ``{index: exception}`` for failed samples (collect_errors mode)
         self.errors = dict(errors)
 
+    @property
+    def values(self):
+        """Per-sample values, ``None`` in failed slots."""
+        return [None if v is FAILED else v for v in self._values]
+
     def __len__(self):
-        return len(self.values)
+        return len(self._values)
 
     def __iter__(self):
         return iter(self.values)
 
     def __getitem__(self, index):
-        return self.values[index]
+        value = self._values[index]
+        return None if value is FAILED else value
 
     def ok_values(self):
         """Values from samples that completed without error."""
-        return [v for i, v in enumerate(self.values)
-                if i not in self.errors]
+        return [v for v in self._values if v is not FAILED]
 
     @property
     def n_failed(self):
         return len(self.errors)
 
 
-def run_population(worker, samples, progress=None, collect_errors=False):
+def run_population(worker, samples, progress=None, collect_errors=False,
+                   executor=None):
     """Apply ``worker(sample)`` to every sample.
 
     Parameters
     ----------
     worker:
         Callable taking a variation model and returning any value.
+        Must be picklable (module-level) for process-pool executors.
     samples:
         Iterable of variation models.
     progress:
         Optional callable ``(index, total, sample)`` invoked before each
-        evaluation.
+        evaluation (serial) or dispatch (parallel).
     collect_errors:
-        When True, exceptions are recorded per-sample (value ``None``)
-        instead of aborting the sweep.
+        When True, exceptions are recorded per-sample instead of
+        aborting the sweep.
+    executor:
+        Optional runtime executor backend
+        (:class:`~repro.runtime.SerialExecutor` or
+        :class:`~repro.runtime.ProcessPoolExecutor`).  ``None`` keeps
+        the historical in-process loop, including fail-fast semantics:
+        without ``collect_errors`` the first error aborts the sweep
+        immediately.
     """
     samples = list(samples)
-    values = []
-    errors = {}
     total = len(samples)
-    for index, sample in enumerate(samples):
-        if progress is not None:
-            progress(index, total, sample)
-        if collect_errors:
-            try:
+    if executor is None or (isinstance(executor, SerialExecutor)
+                            and executor.retries == 0):
+        values = []
+        errors = {}
+        for index, sample in enumerate(samples):
+            if progress is not None:
+                progress(index, total, sample)
+            if collect_errors:
+                try:
+                    values.append(worker(sample))
+                except Exception as exc:  # noqa: BLE001 - reported to caller
+                    values.append(FAILED)
+                    errors[index] = exc
+            else:
                 values.append(worker(sample))
-            except Exception as exc:  # noqa: BLE001 - reported to caller
-                values.append(None)
-                errors[index] = exc
+        return MonteCarloResult(samples, values, errors)
+
+    if progress is not None:
+        for index, sample in enumerate(samples):
+            progress(index, total, sample)
+    outcomes = executor.map_tasks(worker, samples)
+    values = [FAILED] * total
+    errors = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            values[outcome.index] = outcome.value
         else:
-            values.append(worker(sample))
+            errors[outcome.index] = outcome.error()
+    if errors and not collect_errors:
+        raise errors[min(errors)]
     return MonteCarloResult(samples, values, errors)

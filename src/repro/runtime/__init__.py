@@ -1,0 +1,23 @@
+"""Campaign execution runtime.
+
+Process-pool Monte Carlo execution with content-addressed result
+caching, checkpoint/resume and run telemetry.  See DESIGN.md
+("Campaign runtime") for the architecture.
+"""
+
+from .cache import CacheMiss, ResultCache
+from .checkpoint import CampaignCheckpoint
+from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
+                        TaskOutcome, TaskTimeout, WorkerError,
+                        default_n_jobs)
+from .hashing import canonical_token, stable_hash
+from .runner import DEFAULT_CACHE_DIR, CampaignRun, Runtime
+from .telemetry import RunReport
+
+__all__ = [
+    "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
+    "SerialExecutor", "ProcessPoolExecutor", "TaskOutcome", "FAILED",
+    "WorkerError", "TaskTimeout", "default_n_jobs",
+    "ResultCache", "CacheMiss", "CampaignCheckpoint",
+    "stable_hash", "canonical_token",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under the cache root, default ``.repro_cache/``)::
+
+    objects/ab/abcdef...0123.json   # JSON-serialisable values
+    objects/ab/abcdef...0123.npz    # numpy-array values
+    manifests/<campaign>.json       # checkpoint manifests (checkpoint.py)
+
+Keys are the stable hashes of :mod:`repro.runtime.hashing`; values are
+whatever a campaign task returned.  JSON is the primary format (with a
+small escape hatch for embedded numpy arrays); values that are a bare
+array or a flat ``{str: ndarray}`` mapping are stored as ``.npz``
+instead.  Writes are atomic (temp file + ``os.replace``) so a killed
+campaign never leaves a truncated entry behind.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+_ARRAY_TAG = "__ndarray__"
+
+
+def _encode(value):
+    """Lower ``value`` to a JSON-serialisable structure."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return {_ARRAY_TAG: value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    "cache values need string dict keys, got {!r}".format(k))
+            out[k] = _encode(v)
+        return out
+    raise TypeError(
+        "cannot cache value of type {}".format(type(value).__name__))
+
+
+def _decode(value):
+    if isinstance(value, dict):
+        if _ARRAY_TAG in value:
+            return np.asarray(value[_ARRAY_TAG], dtype=value.get("dtype"))
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def _is_npz_value(value):
+    if isinstance(value, np.ndarray):
+        return True
+    return (isinstance(value, dict) and bool(value)
+            and all(isinstance(k, str) and isinstance(v, np.ndarray)
+                    for k, v in value.items()))
+
+
+class CacheMiss(Exception):
+    """Raised by :meth:`ResultCache.get` for unknown keys."""
+
+
+class ResultCache:
+    """Content-addressed store for campaign task results."""
+
+    def __init__(self, root=".repro_cache"):
+        self.root = str(root)
+
+    # ------------------------------------------------------------------
+
+    def _object_dir(self, key):
+        return os.path.join(self.root, "objects", key[:2])
+
+    def _paths(self, key):
+        base = os.path.join(self._object_dir(key), key)
+        return base + ".json", base + ".npz"
+
+    def contains(self, key):
+        json_path, npz_path = self._paths(key)
+        return os.path.exists(json_path) or os.path.exists(npz_path)
+
+    def get(self, key):
+        """Return the stored value, or raise :class:`CacheMiss`."""
+        json_path, npz_path = self._paths(key)
+        if os.path.exists(json_path):
+            with open(json_path) as handle:
+                return _decode(json.load(handle))
+        if os.path.exists(npz_path):
+            with np.load(npz_path) as data:
+                if data.files == ["__single__"]:
+                    return data["__single__"]
+                return {name: data[name] for name in data.files}
+        raise CacheMiss(key)
+
+    def put(self, key, value):
+        """Store ``value`` under ``key`` (atomic; overwrites)."""
+        directory = self._object_dir(key)
+        os.makedirs(directory, exist_ok=True)
+        json_path, npz_path = self._paths(key)
+        if _is_npz_value(value):
+            arrays = ({"__single__": value}
+                      if isinstance(value, np.ndarray) else value)
+            self._atomic_write(npz_path, lambda h: np.savez(h, **arrays),
+                               binary=True)
+        else:
+            encoded = _encode(value)
+            self._atomic_write(
+                json_path, lambda h: json.dump(encoded, h))
+        return key
+
+    def _atomic_write(self, path, writer, binary=False):
+        mode = "wb" if binary else "w"
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, mode) as handle:
+                writer(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+
+    def n_objects(self):
+        """Number of stored entries (walks the object tree)."""
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return 0
+        count = 0
+        for _, _, files in os.walk(objects):
+            count += sum(1 for f in files if not f.endswith(".tmp"))
+        return count
+
+    def __repr__(self):
+        return "ResultCache({!r})".format(self.root)

@@ -1,0 +1,83 @@
+"""Campaign checkpoint manifests.
+
+Long sweeps are restartable jobs: the runner periodically writes a
+manifest listing the task keys already completed, so an interrupted
+campaign re-invoked with the same configuration resumes from finished
+samples instead of restarting.  Results themselves live in the
+content-addressed :class:`~repro.runtime.cache.ResultCache`; the
+manifest only records *progress* (and makes resume work even before the
+runner consults the cache key by key).
+
+Manifests are stored under ``<cache root>/manifests/<campaign key>.json``
+and written atomically, so a kill mid-write never corrupts one.
+"""
+
+import json
+import os
+import tempfile
+
+
+class CampaignCheckpoint:
+    """Periodic progress manifest for one campaign."""
+
+    def __init__(self, campaign_key, root=".repro_cache", every=8):
+        self.campaign_key = str(campaign_key)
+        self.root = str(root)
+        self.every = max(1, int(every))
+        #: task keys known complete (loaded + marked this run)
+        self.completed = set()
+        self.n_tasks = None
+        self._dirty = 0
+
+    @property
+    def path(self):
+        return os.path.join(self.root, "manifests",
+                            self.campaign_key + ".json")
+
+    # ------------------------------------------------------------------
+
+    def load(self):
+        """Load a previous run's manifest; returns the completed keys."""
+        try:
+            with open(self.path) as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return set()
+        if manifest.get("campaign") != self.campaign_key:
+            return set()
+        self.completed.update(manifest.get("completed", []))
+        return set(self.completed)
+
+    def mark_done(self, task_key):
+        """Record one completed task; flushes every ``every`` marks."""
+        if task_key in self.completed:
+            return
+        self.completed.add(task_key)
+        self._dirty += 1
+        if self._dirty >= self.every:
+            self.flush()
+
+    def flush(self):
+        """Atomically (re)write the manifest."""
+        directory = os.path.dirname(self.path)
+        os.makedirs(directory, exist_ok=True)
+        manifest = {
+            "campaign": self.campaign_key,
+            "n_tasks": self.n_tasks,
+            "n_completed": len(self.completed),
+            "completed": sorted(self.completed),
+        }
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(manifest, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._dirty = 0
+
+    def __repr__(self):
+        return "CampaignCheckpoint({}..., {} done)".format(
+            self.campaign_key[:8], len(self.completed))

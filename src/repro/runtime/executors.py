@@ -1,0 +1,342 @@
+"""Executor backends for campaign tasks.
+
+A *task* is ``fn(payload)`` where ``fn`` is a module-level callable and
+``payload`` is picklable; both constraints only matter for the process
+pool (the serial backend also accepts closures).  Executors return
+:class:`TaskOutcome` records aligned with the payload list, so result
+ordering never depends on worker scheduling — a prerequisite for
+bit-identical serial/parallel campaigns.
+
+The process backend wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with chunked dispatch, a per-task timeout and bounded retry, so one
+diverging Newton solve can neither hang a sweep forever nor kill it.
+"""
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+
+
+class _FailedSentinel:
+    """Marks a sample slot whose evaluation failed (vs. a legitimate
+    ``None`` result)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<FAILED>"
+
+    def __reduce__(self):
+        return (_FailedSentinel, ())
+
+
+#: singleton placed in result slots of failed/timed-out samples
+FAILED = _FailedSentinel()
+
+
+class WorkerError(RuntimeError):
+    """A task failed in a worker process.
+
+    Carries the original exception's class name and message (the
+    exception object itself may not survive pickling back from the
+    worker).
+    """
+
+    def __init__(self, error_type, message):
+        super().__init__("{}: {}".format(error_type, message))
+        self.error_type = error_type
+        self.error_message = message
+
+
+class TaskTimeout(WorkerError):
+    """A task exceeded the executor's per-task timeout."""
+
+    def __init__(self, seconds):
+        super().__init__("TaskTimeout",
+                         "no result within {:.1f}s".format(seconds))
+        self.seconds = seconds
+
+
+class TaskOutcome:
+    """Result record for one task (picklable)."""
+
+    __slots__ = ("index", "value", "error_type", "error_message",
+                 "duration", "retries", "timed_out", "newton_solves",
+                 "newton_iterations")
+
+    def __init__(self, index, value=None, error_type=None,
+                 error_message=None, duration=0.0, retries=0,
+                 timed_out=False, newton_solves=0, newton_iterations=0):
+        self.index = index
+        self.value = value
+        self.error_type = error_type
+        self.error_message = error_message
+        self.duration = duration
+        self.retries = retries
+        self.timed_out = timed_out
+        self.newton_solves = newton_solves
+        self.newton_iterations = newton_iterations
+
+    @property
+    def ok(self):
+        return self.error_type is None
+
+    def error(self):
+        """The failure as an exception object (None when ok)."""
+        if self.ok:
+            return None
+        if self.timed_out:
+            return TaskTimeout(self.duration)
+        return WorkerError(self.error_type, self.error_message)
+
+    def __repr__(self):
+        state = "ok" if self.ok else self.error_type
+        return "TaskOutcome({}, {}, {:.3f}s)".format(
+            self.index, state, self.duration)
+
+
+def _execute_one(fn, payload, index):
+    """Run one task, recording duration and Newton-solver effort."""
+    from ..spice.mna import NEWTON_STATS
+
+    solves0 = NEWTON_STATS["solves"]
+    iters0 = NEWTON_STATS["iterations"]
+    start = time.perf_counter()
+    try:
+        value = fn(payload)
+    except Exception as exc:  # noqa: BLE001 - taxonomy reported to caller
+        return TaskOutcome(
+            index, error_type=type(exc).__name__,
+            error_message=str(exc),
+            duration=time.perf_counter() - start,
+            newton_solves=NEWTON_STATS["solves"] - solves0,
+            newton_iterations=NEWTON_STATS["iterations"] - iters0)
+    return TaskOutcome(
+        index, value=value, duration=time.perf_counter() - start,
+        newton_solves=NEWTON_STATS["solves"] - solves0,
+        newton_iterations=NEWTON_STATS["iterations"] - iters0)
+
+
+def _execute_chunk(fn, payloads, indices):
+    """Worker-side entry point: run a chunk of tasks sequentially."""
+    return [_execute_one(fn, payload, index)
+            for payload, index in zip(payloads, indices)]
+
+
+class SerialExecutor:
+    """In-process execution preserving today's semantics.
+
+    Accepts closures (nothing is pickled); ``timeout`` cannot be
+    enforced in-process and is ignored; failed tasks are retried up to
+    ``retries`` times.
+    """
+
+    n_jobs = 1
+
+    def __init__(self, retries=0):
+        self.retries = int(retries)
+
+    def map_tasks(self, fn, payloads, on_result=None):
+        outcomes = []
+        for index, payload in enumerate(payloads):
+            outcome = _execute_one(fn, payload, index)
+            for attempt in range(self.retries):
+                if outcome.ok:
+                    break
+                outcome = _execute_one(fn, payload, index)
+                outcome.retries = attempt + 1
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes
+
+    def __repr__(self):
+        return "SerialExecutor()"
+
+
+def default_n_jobs():
+    """Job count from ``REPRO_JOBS`` (falls back to the CPU count)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+class ProcessPoolExecutor:
+    """Parallel backend on :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker process count (default: ``REPRO_JOBS`` or the CPU count).
+    chunk_size:
+        Tasks per dispatch unit.  ``None`` picks ``ceil(n / (4 *
+        n_jobs))`` so each worker sees a few chunks (load balancing)
+        while amortising IPC for cheap tasks.
+    timeout:
+        Per-task wall-clock budget in seconds (``None`` = unbounded).  A
+        chunk gets ``timeout * len(chunk)``; on expiry its tasks are
+        marked timed out and the pool is recycled (best effort: hung
+        workers are terminated).
+    retries:
+        How many extra rounds failed/timed-out tasks get.  Retries run
+        with chunk size 1 so a poison task cannot shadow its chunk
+        mates.
+    mp_context:
+        ``multiprocessing`` start method (default ``fork`` when
+        available, else ``spawn``).
+    """
+
+    def __init__(self, n_jobs=None, chunk_size=None, timeout=None,
+                 retries=1, mp_context=None):
+        self.n_jobs = default_n_jobs() if n_jobs is None else max(
+            1, int(n_jobs))
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.retries = int(retries)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+
+    def _resolve_chunk_size(self, n_tasks):
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        return max(1, -(-n_tasks // (4 * self.n_jobs)))
+
+    def _make_pool(self, n_tasks):
+        context = multiprocessing.get_context(self._mp_context)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.n_jobs, max(1, n_tasks)),
+            mp_context=context)
+
+    @staticmethod
+    def _shutdown(pool, kill):
+        if kill:
+            # A worker may be stuck inside a diverging solve; shutdown()
+            # would join it forever.  Terminate best-effort instead.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+
+    def map_tasks(self, fn, payloads, on_result=None):
+        payloads = list(payloads)
+        outcomes = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            # First round uses load-balancing chunks; retry rounds
+            # isolate each task.
+            size = 1 if attempt else self._resolve_chunk_size(len(pending))
+            chunks = [pending[i:i + size]
+                      for i in range(0, len(pending), size)]
+            results = self._run_round(fn, payloads, chunks, attempt,
+                                      on_result)
+            still_pending = []
+            for index, outcome in results.items():
+                outcomes[index] = outcome
+                if not outcome.ok:
+                    still_pending.append(index)
+            pending = still_pending
+        for index in pending:
+            if on_result is not None:
+                on_result(outcomes[index])
+        return outcomes
+
+    def _run_round(self, fn, payloads, chunks, attempt=0, on_result=None):
+        """Run one dispatch round; returns ``{index: TaskOutcome}``.
+
+        Chunk results are consumed *as they complete* and successful
+        outcomes are streamed to ``on_result`` immediately, so the
+        caller's incremental cache writes / checkpoints land even if
+        the campaign is killed mid-round.  A chunk's timeout clock
+        starts when its future is observed running (queued chunks are
+        not charged for time spent waiting behind busy workers).
+        """
+        results = {}
+        pool = self._make_pool(sum(len(c) for c in chunks))
+        hung = False
+
+        def settle_ok(future):
+            chunk = futures[future]
+            try:
+                for outcome in future.result():
+                    outcome.retries = attempt
+                    results[outcome.index] = outcome
+                    if outcome.ok and on_result is not None:
+                        on_result(outcome)
+            except Exception as exc:  # noqa: BLE001 - pool fault
+                for index in chunk:
+                    results[index] = TaskOutcome(
+                        index, error_type=type(exc).__name__,
+                        error_message=str(exc))
+
+        try:
+            futures = {}
+            for chunk in chunks:
+                future = pool.submit(_execute_chunk, fn,
+                                     [payloads[i] for i in chunk], chunk)
+                futures[future] = chunk
+            waiting = set(futures)
+            deadlines = {}
+            while waiting:
+                now = time.monotonic()
+                if self.timeout is not None:
+                    for future in waiting:
+                        if future not in deadlines and future.running():
+                            deadlines[future] = now + self.timeout * len(
+                                futures[future])
+                    expired = [f for f in waiting
+                               if deadlines.get(f, now + 1.0) <= now]
+                    for future in expired:
+                        hung = True
+                        waiting.discard(future)
+                        future.cancel()
+                        chunk = futures[future]
+                        budget = self.timeout * len(chunk)
+                        for index in chunk:
+                            results[index] = TaskOutcome(
+                                index, error_type="TaskTimeout",
+                                error_message="no result within "
+                                "{:.1f}s".format(budget),
+                                duration=budget, timed_out=True,
+                                retries=attempt)
+                    if not waiting:
+                        break
+                    # cap the wait so newly started chunks get clocks
+                    wait_s = min([deadlines[f] - now
+                                  for f in waiting if f in deadlines]
+                                 + [0.25])
+                    wait_s = max(wait_s, 0.01)
+                else:
+                    wait_s = None
+                done, _ = concurrent.futures.wait(
+                    waiting, timeout=wait_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    waiting.discard(future)
+                    settle_ok(future)
+        finally:
+            self._shutdown(pool, kill=hung)
+        return results
+
+    def __repr__(self):
+        return "ProcessPoolExecutor(n_jobs={}, timeout={})".format(
+            self.n_jobs, self.timeout)

@@ -1,0 +1,178 @@
+"""The campaign runner: executor + cache + checkpoint + telemetry.
+
+:class:`Runtime` is the facade the experiment drivers use.  It maps a
+module-level task function over a list of picklable payloads and
+
+* skips tasks whose content-addressed key is already in the result
+  cache (repeated figure regenerations, overlapping resistance sweeps,
+  resumed campaigns);
+* dispatches the rest through the configured executor backend;
+* persists each fresh result and periodically checkpoints a manifest so
+  an interrupted campaign resumes from completed samples;
+* folds everything into a :class:`~repro.runtime.telemetry.RunReport`.
+
+Results are placed by task index, so campaign output is bit-identical
+between the serial and process-pool backends.
+"""
+
+import os
+
+from .cache import CacheMiss, ResultCache
+from .checkpoint import CampaignCheckpoint
+from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
+                        default_n_jobs)
+from .hashing import stable_hash
+from .telemetry import RunReport
+
+#: default on-disk cache location (overridden by ``REPRO_CACHE_DIR``)
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class CampaignRun:
+    """Outcome of one :meth:`Runtime.run` call."""
+
+    def __init__(self, values, errors, report):
+        #: per-task values; failed slots hold the ``FAILED`` sentinel
+        self.values = list(values)
+        #: ``{index: exception}`` for failed tasks
+        self.errors = dict(errors)
+        self.report = report
+
+    def ok_values(self):
+        return [v for v in self.values if v is not FAILED]
+
+    def value_or_none(self, index):
+        value = self.values[index]
+        return None if value is FAILED else value
+
+    def __len__(self):
+        return len(self.values)
+
+    def __repr__(self):
+        return "CampaignRun({} tasks, {} failed)".format(
+            len(self.values), len(self.errors))
+
+
+class Runtime:
+    """Campaign execution runtime.
+
+    Parameters
+    ----------
+    executor:
+        An executor backend (default: :class:`SerialExecutor`).
+    cache:
+        A :class:`ResultCache` (or path string), or None to disable
+        result caching and checkpointing.
+    checkpoint_every:
+        Completed tasks between manifest writes.
+    """
+
+    def __init__(self, executor=None, cache=None, checkpoint_every=8):
+        self.executor = SerialExecutor() if executor is None else executor
+        if isinstance(cache, str):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, jobs=None, cache_dir=None, timeout=None, retries=1,
+                 checkpoint_every=8):
+        """Build a runtime from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``.
+
+        ``jobs=None`` reads ``REPRO_JOBS`` (unset: serial); ``jobs=0``
+        means "all CPUs".  ``cache_dir=None`` reads ``REPRO_CACHE_DIR``
+        (unset: caching disabled).
+        """
+        if jobs is None:
+            env = os.environ.get("REPRO_JOBS")
+            jobs = int(env) if env else 1
+        jobs = default_n_jobs() if jobs == 0 else max(1, int(jobs))
+        if jobs > 1:
+            executor = ProcessPoolExecutor(n_jobs=jobs, timeout=timeout,
+                                           retries=retries)
+        else:
+            executor = SerialExecutor(retries=retries)
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        cache = ResultCache(cache_dir) if cache_dir else None
+        return cls(executor=executor, cache=cache,
+                   checkpoint_every=checkpoint_every)
+
+    @classmethod
+    def from_config(cls, config):
+        """Runtime described by an ``ExperimentConfig``-like object."""
+        return cls.from_env(jobs=getattr(config, "n_jobs", None),
+                            cache_dir=getattr(config, "cache_dir", None))
+
+    @property
+    def parallel(self):
+        return getattr(self.executor, "n_jobs", 1) > 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, fn, payloads, keys=None, label="campaign",
+            report=None, progress=None):
+        """Map ``fn`` over ``payloads``; returns a :class:`CampaignRun`.
+
+        ``keys`` enables caching/checkpointing: one stable cache key per
+        payload (see :func:`repro.runtime.hashing.stable_hash`).
+        ``progress(done, total)`` is invoked after every settled task.
+        """
+        payloads = list(payloads)
+        n = len(payloads)
+        report = RunReport(label) if report is None else report
+        report.start(self.executor)
+        values = [FAILED] * n
+        errors = {}
+        done = [0]
+
+        def settle(count=1):
+            done[0] += count
+            if progress is not None:
+                progress(done[0], n)
+
+        checkpoint = None
+        pending = list(range(n))
+        if self.cache is not None and keys is not None:
+            if len(keys) != n:
+                raise ValueError("need one cache key per payload")
+            campaign_key = stable_hash("campaign", label, list(keys))
+            checkpoint = CampaignCheckpoint(
+                campaign_key, root=self.cache.root,
+                every=self.checkpoint_every)
+            previously = checkpoint.load()
+            checkpoint.n_tasks = n
+            pending = []
+            for index, key in enumerate(keys):
+                try:
+                    values[index] = self.cache.get(key)
+                except CacheMiss:
+                    pending.append(index)
+                    continue
+                report.record_hit(resumed=key in previously)
+                checkpoint.mark_done(key)
+                settle()
+
+        def on_result(outcome):
+            index = pending[outcome.index]
+            if outcome.ok and self.cache is not None and keys is not None:
+                self.cache.put(keys[index], outcome.value)
+                checkpoint.mark_done(keys[index])
+            settle()
+
+        if pending:
+            outcomes = self.executor.map_tasks(
+                fn, [payloads[i] for i in pending], on_result=on_result)
+            for outcome in outcomes:
+                index = pending[outcome.index]
+                report.record_outcome(outcome)
+                if outcome.ok:
+                    values[index] = outcome.value
+                else:
+                    errors[index] = outcome.error()
+        if checkpoint is not None:
+            checkpoint.flush()
+        report.finish()
+        return CampaignRun(values, errors, report)

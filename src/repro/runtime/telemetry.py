@@ -1,0 +1,142 @@
+"""Run telemetry: per-sample timing, solver effort, failure taxonomy.
+
+Every campaign produces a :class:`RunReport` — the observable record of
+what the runtime did: how many tasks ran vs. came from the cache, how
+long each took, how much Newton effort the electrical solver spent, and
+which exception classes failures fell into.  The report serialises to
+JSON so benchmark harnesses and CI can track the numbers across PRs.
+"""
+
+import json
+import time
+from collections import Counter
+
+
+class RunReport:
+    """Telemetry for one campaign execution."""
+
+    def __init__(self, label="campaign"):
+        self.label = label
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.resumed = 0
+        #: per-executed-task wall-clock durations (seconds)
+        self.durations = []
+        self.newton_solves = 0
+        self.newton_iterations = 0
+        #: ``{exception class name: count}``
+        self.failure_taxonomy = Counter()
+        self._t_start = None
+        self.wall_time = 0.0
+        self.executor = None
+
+    # ------------------------------------------------------------------
+
+    def start(self, executor=None):
+        self._t_start = time.perf_counter()
+        if executor is not None:
+            self.executor = repr(executor)
+        return self
+
+    def finish(self):
+        """Close the current phase; wall time accumulates so one report
+        can span several runtime phases (calibration + sweeps)."""
+        if self._t_start is not None:
+            self.wall_time += time.perf_counter() - self._t_start
+            self._t_start = None
+        return self
+
+    def record_hit(self, resumed=False):
+        self.cache_hits += 1
+        if resumed:
+            self.resumed += 1
+
+    def record_outcome(self, outcome):
+        """Fold one executor :class:`TaskOutcome` into the counters."""
+        self.cache_misses += 1
+        self.durations.append(outcome.duration)
+        self.retries += outcome.retries
+        self.newton_solves += outcome.newton_solves
+        self.newton_iterations += outcome.newton_iterations
+        if outcome.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+            self.failure_taxonomy[outcome.error_type] += 1
+            if outcome.timed_out:
+                self.timeouts += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tasks(self):
+        return self.cache_hits + self.cache_misses
+
+    def samples_per_second(self):
+        """Executed-task throughput over the campaign's wall clock."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.cache_misses / self.wall_time
+
+    def summary(self):
+        durations = sorted(self.durations)
+        return {
+            "label": self.label,
+            "executor": self.executor,
+            "n_tasks": self.n_tasks,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "resumed": self.resumed,
+            "wall_time_s": self.wall_time,
+            "samples_per_second": self.samples_per_second(),
+            "task_time_total_s": sum(durations),
+            "task_time_median_s": (
+                durations[len(durations) // 2] if durations else None),
+            "task_time_max_s": durations[-1] if durations else None,
+            "newton_solves": self.newton_solves,
+            "newton_iterations": self.newton_iterations,
+            "failure_taxonomy": dict(self.failure_taxonomy),
+        }
+
+    def to_json(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.summary(), handle, indent=2, sort_keys=True)
+        return path
+
+    def format_report(self):
+        """Human-readable multi-line summary (CLI output)."""
+        s = self.summary()
+        lines = [
+            "run report [{}]".format(self.label),
+            "  tasks: {} ({} executed, {} cache hits)".format(
+                s["n_tasks"], s["cache_misses"], s["cache_hits"]),
+            "  wall time: {:.2f}s ({:.2f} samples/s)".format(
+                s["wall_time_s"], s["samples_per_second"]),
+        ]
+        if self.executor:
+            lines.insert(1, "  executor: {}".format(self.executor))
+        if self.newton_solves:
+            lines.append(
+                "  newton: {} solves, {} iterations".format(
+                    s["newton_solves"], s["newton_iterations"]))
+        if self.failed:
+            taxonomy = ", ".join(
+                "{}x{}".format(count, name)
+                for name, count in sorted(self.failure_taxonomy.items()))
+            lines.append("  failures: {} ({}), {} timeouts, {} retries"
+                         .format(s["failed"], taxonomy, s["timeouts"],
+                                 s["retries"]))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return ("RunReport({!r}, {} tasks, {} hits, {} failed)"
+                .format(self.label, self.n_tasks, self.cache_hits,
+                        self.failed))

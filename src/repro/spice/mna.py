@@ -22,6 +22,11 @@ from .errors import ConvergenceError, NetlistError
 from .mosfet import Mosfet, evaluate_level1
 from .netlist import is_ground
 
+#: cumulative Newton-solver effort counters for this process.  Updated by
+#: :func:`newton_solve`; snapshotted per task by the campaign runtime's
+#: telemetry layer (workers report the delta back with each result).
+NEWTON_STATS = {"solves": 0, "iterations": 0}
+
 
 class CompiledCircuit:
     """A circuit lowered to numeric form, ready for analysis."""
@@ -244,7 +249,9 @@ def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
     """
     x = np.array(x0, dtype=float)
     n_nodes = compiled.n_nodes
+    NEWTON_STATS["solves"] += 1
     for iteration in range(max_iter):
+        NEWTON_STATS["iterations"] += 1
         a = a_base.copy()
         rhs = rhs_base.copy()
         compiled.stamp_mosfets(x, a, rhs, gmin=gmin)

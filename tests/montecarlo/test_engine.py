@@ -43,3 +43,43 @@ class TestRunPopulation:
         assert 2 in result.errors
         assert result.values[2] is None
         assert result.ok_values() == [0, 1, 3]
+
+    def test_legit_none_result_is_not_a_failure(self):
+        """Regression: a worker may legitimately return None; only real
+        failures must be excluded from ok_values / counted in n_failed."""
+        def flaky_or_none(sample):
+            if sample.seed == 1:
+                return None
+            if sample.seed == 3:
+                raise RuntimeError("boom")
+            return sample.seed
+        result = run_population(flaky_or_none, population(),
+                                collect_errors=True)
+        assert result.n_failed == 1
+        assert result.ok_values() == [0, None, 2]
+        assert result.values == [0, None, 2, None]
+        assert result[1] is None and 1 not in result.errors
+        assert result[3] is None and 3 in result.errors
+
+    def test_all_none_results_report_zero_failures(self):
+        result = run_population(lambda m: None, population(),
+                                collect_errors=True)
+        assert result.n_failed == 0
+        assert result.ok_values() == [None] * 4
+
+    def test_executor_path_matches_serial(self):
+        from repro.runtime import SerialExecutor
+        serial = run_population(lambda m: m.seed * 3, population())
+        routed = run_population(lambda m: m.seed * 3, population(),
+                                executor=SerialExecutor(retries=1))
+        assert routed.values == serial.values
+
+    def test_executor_fail_fast_raises(self):
+        from repro.runtime import SerialExecutor
+
+        def boom(sample):
+            raise ValueError("bad sample")
+        with pytest.raises(Exception) as excinfo:
+            run_population(boom, population(),
+                           executor=SerialExecutor(retries=1))
+        assert "bad sample" in str(excinfo.value)

@@ -1,0 +1,94 @@
+"""ResultCache round-trip and layout tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import CacheMiss, ResultCache, stable_hash
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestJsonValues:
+    def test_round_trip_scalars(self, cache):
+        key = stable_hash("scalars")
+        cache.put(key, {"a": 1, "b": 0.25, "c": None, "d": True,
+                        "e": "text", "f": [1, 2, 3]})
+        assert cache.get(key) == {"a": 1, "b": 0.25, "c": None,
+                                  "d": True, "e": "text", "f": [1, 2, 3]}
+
+    def test_numpy_scalars_lowered(self, cache):
+        key = stable_hash("npscalar")
+        cache.put(key, {"x": np.float64(0.5), "n": np.int64(3)})
+        value = cache.get(key)
+        assert value == {"x": 0.5, "n": 3}
+        assert isinstance(value["x"], float)
+
+    def test_embedded_array_in_nested_value(self, cache):
+        key = stable_hash("nested")
+        cache.put(key, {"meta": "row", "data": np.array([1.0, 2.5])})
+        value = cache.get(key)
+        assert value["meta"] == "row"
+        np.testing.assert_array_equal(value["data"],
+                                      np.array([1.0, 2.5]))
+
+    def test_unserialisable_rejected(self, cache):
+        with pytest.raises(TypeError):
+            cache.put(stable_hash("bad"), object())
+
+
+class TestNpzValues:
+    def test_bare_array(self, cache):
+        key = stable_hash("bare")
+        stored = np.linspace(0.0, 1.0, 7)
+        cache.put(key, stored)
+        loaded = cache.get(key)
+        np.testing.assert_array_equal(loaded, stored)
+        _, npz_path = cache._paths(key)
+        assert os.path.exists(npz_path)
+
+    def test_flat_array_mapping(self, cache):
+        key = stable_hash("mapping")
+        cache.put(key, {"w_in": np.array([1.0]), "w_out": np.array([2.0])})
+        loaded = cache.get(key)
+        assert set(loaded) == {"w_in", "w_out"}
+        np.testing.assert_array_equal(loaded["w_out"], np.array([2.0]))
+
+
+class TestProtocol:
+    def test_miss_raises(self, cache):
+        with pytest.raises(CacheMiss):
+            cache.get(stable_hash("never-stored"))
+        assert not cache.contains(stable_hash("never-stored"))
+
+    def test_contains_and_count(self, cache):
+        assert cache.n_objects() == 0
+        for i in range(3):
+            cache.put(stable_hash("entry", i), {"i": i})
+        assert cache.n_objects() == 3
+        assert cache.contains(stable_hash("entry", 1))
+
+    def test_overwrite(self, cache):
+        key = stable_hash("overwrite")
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+        assert cache.n_objects() == 1
+
+    def test_no_tmp_litter(self, cache):
+        key = stable_hash("clean")
+        cache.put(key, {"v": 1})
+        directory = cache._object_dir(key)
+        assert not [f for f in os.listdir(directory)
+                    if f.endswith(".tmp")]
+
+    def test_sharded_layout(self, cache):
+        key = stable_hash("layout")
+        cache.put(key, 1)
+        json_path, _ = cache._paths(key)
+        assert os.sep + os.path.join("objects", key[:2]) + os.sep \
+            in json_path

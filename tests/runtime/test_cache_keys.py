@@ -1,0 +1,92 @@
+"""Cache-key sensitivity: any input that can change a measurement must
+change its content-addressed key; anything that cannot, must not.
+
+The key recipe under test is the one ``repro.core.coverage._sweep_rows``
+uses for per-sample sweep rows.
+"""
+
+import subprocess
+import sys
+
+from repro.cells import default_technology
+from repro.faults import BridgingFault, ExternalOpen
+from repro.montecarlo import VariationModel
+from repro.runtime import ResultCache, stable_hash
+
+
+def _row_key(tech=None, sample_seed=3, fault=None, resistances=(4e3,),
+             dt=3e-12, path_kwargs=None, omega_in=0.40e-9):
+    """Mirror of the sweep-row key built in coverage._sweep_rows."""
+    tech = default_technology() if tech is None else tech
+    fault = ExternalOpen(2, 8e3) if fault is None else fault
+    measure_spec = dict(measure="pulse", omega_in=float(omega_in),
+                        kind="h")
+    return stable_hash("sweep-row", tech, VariationModel(sample_seed),
+                       fault, [float(r) for r in resistances], dt,
+                       path_kwargs or {}, measure_spec)
+
+
+BASE = _row_key()
+
+
+class TestKeySensitivity:
+    def test_baseline_is_reproducible(self):
+        assert _row_key() == BASE
+
+    def test_tech_sigma_changes_key(self):
+        # die-to-die perturbed technology (what a different global
+        # sigma produces) must not collide with nominal
+        tech = default_technology().copy(kpn=120e-6 * 1.02)
+        assert _row_key(tech=tech) != BASE
+
+    def test_supply_changes_key(self):
+        assert _row_key(tech=default_technology().copy(vdd=2.4)) != BASE
+
+    def test_sample_seed_changes_key(self):
+        assert _row_key(sample_seed=4) != BASE
+
+    def test_fault_resistance_grid_changes_key(self):
+        assert _row_key(resistances=(4e3, 8e3)) != BASE
+        assert _row_key(resistances=(5e3,)) != BASE
+
+    def test_fault_spec_changes_key(self):
+        assert _row_key(fault=ExternalOpen(3, 8e3)) != BASE
+        assert _row_key(fault=BridgingFault(2, 8e3)) != BASE
+
+    def test_pulse_width_changes_key(self):
+        assert _row_key(omega_in=0.45e-9) != BASE
+
+    def test_dt_changes_key(self):
+        assert _row_key(dt=5e-12) != BASE
+
+    def test_path_structure_changes_key(self):
+        assert _row_key(path_kwargs={"fanout_loads": 3}) != BASE
+
+
+class TestRestartHit:
+    def test_unchanged_config_hits_after_process_restart(self, tmp_path):
+        """Store a row under the config key, recompute the key in a
+        fresh interpreter, and read the entry back: same config after a
+        restart must be a cache hit."""
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(BASE, [1.0, 2.0])
+        import os
+        import repro
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.cells import default_technology\n"
+            "from repro.faults import ExternalOpen\n"
+            "from repro.montecarlo import VariationModel\n"
+            "from repro.runtime import ResultCache, stable_hash\n"
+            "key = stable_hash('sweep-row', default_technology(),\n"
+            "                  VariationModel(3), ExternalOpen(2, 8e3),\n"
+            "                  [4000.0], 3e-12, {{}},\n"
+            "                  dict(measure='pulse', omega_in=0.4e-9,\n"
+            "                       kind='h'))\n"
+            "print(ResultCache({root!r}).get(key))\n"
+        ).format(src=src, root=str(tmp_path / "cache"))
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True)
+        assert out.stdout.strip() == "[1.0, 2.0]"

@@ -1,0 +1,76 @@
+"""Backend determinism: serial and process-pool campaigns must produce
+bit-identical results (results are placed by task index, never by
+completion order, and every instance's parameters are a pure function of
+its seed)."""
+
+from repro.core.coverage import sweep_pulse_measurements
+from repro.faults import ExternalOpen
+from repro.logic import (DefectCalibration, c17, run_campaign)
+from repro.montecarlo import sample_population
+from repro.runtime import ProcessPoolExecutor, Runtime, SerialExecutor
+
+
+def _calibration():
+    """Hand-built defect table (no electrical simulation needed)."""
+    return DefectCalibration(
+        resistances=[1e3, 5e3, 20e3, 60e3],
+        extra_rise=[2e-12, 10e-12, 45e-12, 140e-12],
+        extra_fall=[2e-12, 10e-12, 45e-12, 140e-12],
+        theta_shift=[1e-12, 8e-12, 40e-12, 120e-12],
+        kind="external")
+
+
+def test_electrical_sweep_identical_serial_vs_pool():
+    """Satellite check: the same seeds and config give bit-identical raw
+    measurement rows whichever executor runs them."""
+    samples = sample_population(2, base_seed=11)
+    fault = ExternalOpen(2, 8e3)
+    resistances = [4e3, 20e3]
+    kwargs = dict(omega_in=0.40e-9, dt=5e-12,
+                  gate_kinds=("inv",) * 4)
+
+    serial = sweep_pulse_measurements(
+        samples, fault, resistances,
+        runtime=Runtime(executor=SerialExecutor()), **kwargs)
+    parallel = sweep_pulse_measurements(
+        samples, fault, resistances,
+        runtime=Runtime(executor=ProcessPoolExecutor(n_jobs=2,
+                                                     chunk_size=1)),
+        **kwargs)
+    assert serial == parallel  # exact float equality, not approx
+
+
+def test_logic_campaign_identical_serial_vs_pool():
+    """Whole-campaign determinism on c17 (logic-level, cheap)."""
+    calibration = _calibration()
+    samples = sample_population(3, base_seed=7)
+
+    def outcome(runtime):
+        result = run_campaign(c17(), calibration, samples=samples,
+                              runtime=runtime)
+        return [(s.net, s.status, s.omega_in, s.omega_th, s.r_min)
+                for s in result.sites]
+
+    serial = outcome(Runtime(executor=SerialExecutor()))
+    parallel = outcome(Runtime(executor=ProcessPoolExecutor(
+        n_jobs=2, chunk_size=1)))
+    assert serial == parallel
+
+
+def test_cached_rerun_identical(tmp_path):
+    """A warm-cache rerun reproduces the cold run exactly."""
+    calibration = _calibration()
+    samples = sample_population(3, base_seed=7)
+    runtime = Runtime(cache=str(tmp_path / "cache"))
+
+    def outcome():
+        result = run_campaign(c17(), calibration, samples=samples,
+                              runtime=runtime)
+        return ([(s.net, s.status, s.omega_in, s.omega_th, s.r_min)
+                 for s in result.sites], result.report.cache_hits)
+
+    cold, cold_hits = outcome()
+    warm, warm_hits = outcome()
+    assert cold == warm
+    assert cold_hits == 0
+    assert warm_hits == len(cold)

@@ -1,0 +1,141 @@
+"""Executor backend tests: ordering, failure taxonomy, retry, timeout.
+
+Worker functions live at module level so the process pool can pickle
+them; payloads are plain dicts.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import (FAILED, ProcessPoolExecutor, SerialExecutor,
+                           TaskTimeout, WorkerError)
+
+
+def _square(payload):
+    return payload["x"] ** 2
+
+
+def _fail_on_odd(payload):
+    if payload["x"] % 2:
+        raise ValueError("odd input {}".format(payload["x"]))
+    return payload["x"]
+
+
+def _flaky(payload):
+    """Fails until its marker file exists, then succeeds."""
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("seen")
+        raise RuntimeError("first attempt always fails")
+    return "recovered"
+
+
+def _sleepy(payload):
+    time.sleep(payload["seconds"])
+    return "awake"
+
+
+def _newton_accounting(payload):
+    from repro.spice.mna import NEWTON_STATS
+    NEWTON_STATS["solves"] += payload["solves"]
+    NEWTON_STATS["iterations"] += 3 * payload["solves"]
+    return payload["solves"]
+
+
+PAYLOADS = [{"x": i} for i in range(7)]
+
+
+@pytest.fixture(params=["serial", "pool"])
+def executor(request):
+    if request.param == "serial":
+        return SerialExecutor()
+    return ProcessPoolExecutor(n_jobs=2, retries=0)
+
+
+class TestOrdering:
+    def test_results_aligned_with_payloads(self, executor):
+        outcomes = executor.map_tasks(_square, PAYLOADS)
+        assert [o.index for o in outcomes] == list(range(7))
+        assert [o.value for o in outcomes] == [i ** 2 for i in range(7)]
+        assert all(o.ok for o in outcomes)
+
+    def test_small_chunks_preserve_order(self):
+        executor = ProcessPoolExecutor(n_jobs=2, chunk_size=1, retries=0)
+        outcomes = executor.map_tasks(_square, PAYLOADS)
+        assert [o.value for o in outcomes] == [i ** 2 for i in range(7)]
+
+    def test_on_result_sees_every_task(self, executor):
+        seen = []
+        executor.map_tasks(_square, PAYLOADS,
+                           on_result=lambda o: seen.append(o.index))
+        assert sorted(seen) == list(range(7))
+
+
+class TestFailures:
+    def test_taxonomy_captured(self, executor):
+        outcomes = executor.map_tasks(_fail_on_odd, PAYLOADS)
+        for outcome in outcomes:
+            if outcome.index % 2:
+                assert not outcome.ok
+                assert outcome.error_type == "ValueError"
+                assert str(outcome.index) in outcome.error_message
+                assert isinstance(outcome.error(), WorkerError)
+            else:
+                assert outcome.ok
+                assert outcome.error() is None
+
+    def test_failed_sentinel_distinct_from_none(self):
+        assert FAILED is not None
+        assert repr(FAILED) == "<FAILED>"
+
+    def test_failed_sentinel_survives_pickling(self):
+        import pickle
+        assert pickle.loads(pickle.dumps(FAILED)) is FAILED
+
+
+class TestRetry:
+    def test_serial_retry_recovers(self, tmp_path):
+        executor = SerialExecutor(retries=1)
+        payload = {"marker": str(tmp_path / "marker_serial")}
+        (outcome,) = executor.map_tasks(_flaky, [payload])
+        assert outcome.ok
+        assert outcome.value == "recovered"
+        assert outcome.retries == 1
+
+    def test_pool_retry_recovers(self, tmp_path):
+        executor = ProcessPoolExecutor(n_jobs=2, retries=1)
+        payload = {"marker": str(tmp_path / "marker_pool")}
+        (outcome,) = executor.map_tasks(_flaky, [payload])
+        assert outcome.ok
+        assert outcome.value == "recovered"
+        assert outcome.retries == 1
+
+    def test_pool_retry_exhausted(self):
+        executor = ProcessPoolExecutor(n_jobs=2, retries=1)
+        (outcome,) = executor.map_tasks(_fail_on_odd, [{"x": 1}])
+        assert not outcome.ok
+        assert outcome.retries == 1
+
+
+class TestTimeout:
+    def test_hung_task_marked_and_neighbours_survive(self):
+        executor = ProcessPoolExecutor(n_jobs=2, chunk_size=1,
+                                       timeout=0.5, retries=0)
+        payloads = [{"seconds": 0.0}, {"seconds": 30.0}, {"seconds": 0.0}]
+        outcomes = executor.map_tasks(_sleepy, payloads)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].timed_out
+        assert outcomes[1].error_type == "TaskTimeout"
+        assert isinstance(outcomes[1].error(), TaskTimeout)
+
+
+class TestNewtonTelemetry:
+    def test_solver_effort_reported_per_task(self, executor):
+        outcomes = executor.map_tasks(
+            _newton_accounting, [{"solves": 2}, {"solves": 5}])
+        assert [o.newton_solves for o in outcomes] == [2, 5]
+        assert [o.newton_iterations for o in outcomes] == [6, 15]

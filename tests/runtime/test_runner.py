@@ -1,0 +1,190 @@
+"""Runtime facade tests: caching, checkpoint/resume, failure slots."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import (FAILED, ProcessPoolExecutor, ResultCache,
+                           Runtime, SerialExecutor, stable_hash)
+
+
+def _double(payload):
+    return 2 * payload["x"]
+
+
+def _record_and_double(payload):
+    """Appends one line per execution, so tests can count real work."""
+    with open(payload["log"], "a") as handle:
+        handle.write("{}\n".format(payload["x"]))
+    return 2 * payload["x"]
+
+
+def _maybe_none(payload):
+    if payload["x"] == 1:
+        return None  # a legitimate result, not a failure
+    if payload["x"] == 2:
+        raise ValueError("boom")
+    return payload["x"]
+
+
+def _executions(log):
+    if not os.path.exists(log):
+        return 0
+    with open(log) as handle:
+        return sum(1 for _ in handle)
+
+
+def _payloads(n, log=None):
+    if log is None:
+        return [{"x": i} for i in range(n)]
+    return [{"x": i, "log": log} for i in range(n)]
+
+
+def _keys(n):
+    return [stable_hash("runner-test", i) for i in range(n)]
+
+
+class TestPlainRuns:
+    def test_serial_no_cache(self):
+        run = Runtime().run(_double, _payloads(5))
+        assert run.values == [0, 2, 4, 6, 8]
+        assert run.errors == {}
+        assert run.report.completed == 5
+        assert run.report.cache_hits == 0
+
+    def test_failed_slots_and_legit_none(self):
+        run = Runtime().run(_maybe_none, _payloads(4))
+        assert run.values[0] == 0
+        assert run.values[1] is None          # legitimate None kept
+        assert run.values[2] is FAILED        # failure marked distinctly
+        assert run.values[3] == 3
+        assert run.ok_values() == [0, None, 3]
+        assert run.value_or_none(2) is None
+        assert list(run.errors) == [2]
+        assert "boom" in str(run.errors[2])
+        assert run.report.failed == 1
+        assert run.report.failure_taxonomy == {"ValueError": 1}
+
+    def test_progress_callback(self):
+        calls = []
+        Runtime().run(_double, _payloads(3),
+                      progress=lambda done, total: calls.append(
+                          (done, total)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self, tmp_path):
+        log = str(tmp_path / "log")
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        first = runtime.run(_record_and_double, _payloads(4, log),
+                            keys=_keys(4))
+        assert first.report.cache_hits == 0
+        assert _executions(log) == 4
+        second = runtime.run(_record_and_double, _payloads(4, log),
+                             keys=_keys(4))
+        assert second.values == first.values
+        assert second.report.cache_hits == 4
+        assert _executions(log) == 4  # nothing re-simulated
+
+    def test_manifest_written(self, tmp_path):
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        runtime.run(_double, _payloads(3), keys=_keys(3), label="mfst")
+        manifests = os.path.join(str(tmp_path / "cache"), "manifests")
+        files = os.listdir(manifests)
+        assert len(files) == 1
+        with open(os.path.join(manifests, files[0])) as handle:
+            manifest = json.load(handle)
+        assert len(manifest["completed"]) == 3
+        assert manifest["n_tasks"] == 3
+
+    def test_interrupted_campaign_resumes(self, tmp_path):
+        """A run that stopped after a prefix of the work re-uses every
+        finished sample (deterministic stand-in for kill -9 mid-sweep)."""
+        log = str(tmp_path / "log")
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        runtime.run(_record_and_double, _payloads(3, log),
+                    keys=_keys(6)[:3], label="sweep")
+        assert _executions(log) == 3
+        full = runtime.run(_record_and_double, _payloads(6, log),
+                           keys=_keys(6), label="sweep")
+        assert full.values == [0, 2, 4, 6, 8, 10]
+        assert full.report.cache_hits == 3
+        assert _executions(log) == 6  # only the unfinished half ran
+
+    def test_resumed_counter_uses_manifest(self, tmp_path):
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        runtime.run(_double, _payloads(4), keys=_keys(4), label="c")
+        rerun = runtime.run(_double, _payloads(4), keys=_keys(4),
+                            label="c")
+        assert rerun.report.cache_hits == 4
+        assert rerun.report.resumed == 4
+
+    def test_mismatched_keys_rejected(self, tmp_path):
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        with pytest.raises(ValueError):
+            runtime.run(_double, _payloads(3), keys=_keys(2))
+
+    def test_failures_not_cached(self, tmp_path):
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        run = runtime.run(_maybe_none, _payloads(4), keys=_keys(4))
+        assert run.values[2] is FAILED
+        assert runtime.cache.n_objects() == 3
+        rerun = runtime.run(_maybe_none, _payloads(4), keys=_keys(4))
+        assert rerun.report.cache_hits == 3  # the failure retried
+
+
+class TestFromEnv:
+    def test_defaults_are_serial_uncached(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        runtime = Runtime.from_env()
+        assert isinstance(runtime.executor, SerialExecutor)
+        assert runtime.cache is None
+        assert not runtime.parallel
+
+    def test_env_knobs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        runtime = Runtime.from_env()
+        assert isinstance(runtime.executor, ProcessPoolExecutor)
+        assert runtime.executor.n_jobs == 3
+        assert isinstance(runtime.cache, ResultCache)
+        assert runtime.cache.root == str(tmp_path / "c")
+
+    def test_explicit_args_beat_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        runtime = Runtime.from_env(jobs=1,
+                                   cache_dir=str(tmp_path / "d"))
+        assert isinstance(runtime.executor, SerialExecutor)
+        assert runtime.cache.root == str(tmp_path / "d")
+
+    def test_jobs_zero_means_all_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        runtime = Runtime.from_env(jobs=0)
+        assert getattr(runtime.executor, "n_jobs", 1) == max(
+            1, os.cpu_count() or 1)
+
+
+class TestReport:
+    def test_summary_fields(self, tmp_path):
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        run = runtime.run(_double, _payloads(4), keys=_keys(4),
+                          label="telemetry")
+        summary = run.report.summary()
+        assert summary["label"] == "telemetry"
+        assert summary["completed"] == 4
+        assert summary["cache_hits"] == 0
+        assert summary["cache_misses"] == 4
+        assert summary["wall_time_s"] >= 0.0
+        text = run.report.format_report()
+        assert "telemetry" in text
+
+    def test_report_json_round_trip(self, tmp_path):
+        run = Runtime().run(_double, _payloads(2))
+        path = str(tmp_path / "report.json")
+        run.report.to_json(path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["completed"] == 2

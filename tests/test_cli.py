@@ -24,6 +24,39 @@ class TestParser:
     def test_coverage_args(self):
         args = build_parser().parse_args(["coverage", "bridging"])
         assert args.fault == "bridging"
+        assert args.jobs is None
+        assert args.cache_dir is None
+
+    def test_coverage_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["coverage", "open", "--jobs", "4",
+             "--cache-dir", "/tmp/cache"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/cache"
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.jobs is None
+        assert args.samples == 5
+        assert args.sites is None
+        assert args.cache_dir == ".repro_cache"
+        assert not args.no_cache
+        assert not args.resume
+        assert args.task_timeout is None
+        assert args.report_json is None
+
+    def test_campaign_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--jobs", "2", "--samples", "4", "--sites", "6",
+             "--cache-dir", "/tmp/c", "--resume", "--task-timeout", "30",
+             "--report-json", "report.json"])
+        assert args.jobs == 2
+        assert args.samples == 4
+        assert args.sites == 6
+        assert args.cache_dir == "/tmp/c"
+        assert args.resume
+        assert args.task_timeout == 30.0
+        assert args.report_json == "report.json"
 
 
 class TestCommands:
