@@ -5,10 +5,11 @@ they track the cost of the primitive operations every experiment is
 built from, so performance regressions in the MNA core show up here.
 
 ``test_perf_campaign_runtime`` additionally writes ``BENCH_runtime.json``
-at the repo root (serial vs parallel samples/sec, cache-warm speedup) so
-later PRs can track the campaign runtime's perf trajectory.  Knobs:
-``REPRO_BENCH_SAMPLES`` (population size, default 32),
-``REPRO_BENCH_JOBS`` (parallel worker count, default min(4, CPUs)).
+at the repo root (serial vs parallel vs batched samples/sec, cache-warm
+speedup) so later PRs can track the campaign runtime's perf trajectory.
+Knobs: ``REPRO_BENCH_SAMPLES`` (population size, default 32),
+``REPRO_BENCH_JOBS`` (parallel worker count, default min(4, CPUs)),
+``REPRO_BENCH_BATCH`` (lockstep batch size, default 32).
 """
 
 import json
@@ -96,42 +97,73 @@ def test_perf_atpg_sensitization(benchmark):
 
 
 def test_perf_campaign_runtime(tmp_path):
-    """Campaign runtime trajectory: serial vs process pool vs warm cache.
+    """Campaign runtime trajectory: serial vs pool vs batched vs cache.
 
     Runs the same ROP coverage sweep (the acceptance workload: one
-    measurement row per Monte Carlo sample) three ways and records the
-    numbers in ``BENCH_runtime.json``.  The parallel speedup is only
-    meaningful on a multi-core runner; ``cpu_count`` is recorded so the
-    JSON is interpretable either way.
+    measurement row per Monte Carlo sample) several ways and records the
+    numbers in ``BENCH_runtime.json``.  A parallel speedup is only
+    meaningful on a multi-core runner, so on a single-CPU box the
+    parallel leg is *skipped* and marked as such in the JSON rather than
+    recorded as a bogus comparison.  The ``batched`` section tracks the
+    lockstep engine (one stacked MNA solve per Newton iteration across
+    the whole population).  Knobs: ``REPRO_BENCH_SAMPLES``,
+    ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_BATCH``.
     """
     from repro.core.coverage import sweep_pulse_measurements
     from repro.faults import ExternalOpen
     from repro.montecarlo import sample_population
-    from repro.runtime import (ProcessPoolExecutor, Runtime,
-                               SerialExecutor)
+    from repro.runtime import (DEFAULT_BATCH_SIZE, ProcessPoolExecutor,
+                               Runtime, SerialExecutor)
 
     n_samples = int(os.environ.get("REPRO_BENCH_SAMPLES", "32"))
     cpus = os.cpu_count() or 1
     n_jobs = int(os.environ.get("REPRO_BENCH_JOBS", str(min(4, cpus))))
+    batch_size = int(os.environ.get("REPRO_BENCH_BATCH",
+                                    str(DEFAULT_BATCH_SIZE)))
     samples = sample_population(n_samples, base_seed=1)
     fault = ExternalOpen(2, 8e3)
     resistances = [2e3, 8e3, 32e3]
     sweep_kwargs = dict(omega_in=0.40e-9, dt=5e-12)
 
-    def timed(runtime):
+    def timed(runtime, engine="scalar"):
         t0 = time.perf_counter()
         rows = sweep_pulse_measurements(samples, fault, resistances,
-                                        runtime=runtime, **sweep_kwargs)
+                                        runtime=runtime, engine=engine,
+                                        batch_size=batch_size,
+                                        **sweep_kwargs)
         return rows, time.perf_counter() - t0
 
     serial_rows, serial_s = timed(Runtime(executor=SerialExecutor()))
-    parallel_rows, parallel_s = timed(
-        Runtime(executor=ProcessPoolExecutor(n_jobs=n_jobs)))
+    batched_rows, batched_s = timed(Runtime(executor=SerialExecutor()),
+                                    engine="batched")
+    if cpus > 1:
+        parallel_rows, parallel_s = timed(
+            Runtime(executor=ProcessPoolExecutor(n_jobs=n_jobs)))
+        assert serial_rows == parallel_rows
+        parallel_report = {
+            "n_jobs": n_jobs,
+            "wall_time_s": parallel_s,
+            "samples_per_second": n_samples / parallel_s,
+            "speedup_vs_serial": serial_s / parallel_s,
+        }
+    else:
+        # one CPU: a process pool only adds fork/IPC overhead, and the
+        # "speedup" would be noise — record the skip honestly instead.
+        parallel_report = {
+            "skipped": True,
+            "reason": "cpu_count == 1: no parallelism available",
+            "n_jobs": n_jobs,
+        }
     cached = Runtime(cache=str(tmp_path / "cache"))
     cold_rows, cold_s = timed(cached)
     warm_rows, warm_s = timed(cached)
 
-    assert serial_rows == parallel_rows == cold_rows == warm_rows
+    assert serial_rows == cold_rows == warm_rows
+    # The engines agree to solver tolerance, not bit-exactly.
+    worst = max(abs(a - b)
+                for srow, brow in zip(serial_rows, batched_rows)
+                for a, b in zip(srow, brow))
+    assert worst < 1e-12, worst
 
     report = {
         "workload": {
@@ -146,11 +178,13 @@ def test_perf_campaign_runtime(tmp_path):
             "wall_time_s": serial_s,
             "samples_per_second": n_samples / serial_s,
         },
-        "parallel": {
-            "n_jobs": n_jobs,
-            "wall_time_s": parallel_s,
-            "samples_per_second": n_samples / parallel_s,
-            "speedup_vs_serial": serial_s / parallel_s,
+        "parallel": parallel_report,
+        "batched": {
+            "batch_size": batch_size,
+            "wall_time_s": batched_s,
+            "samples_per_second": n_samples / batched_s,
+            "speedup_vs_serial": serial_s / batched_s,
+            "max_abs_row_diff_vs_serial": worst,
         },
         "cache": {
             "cold_wall_time_s": cold_s,
@@ -162,11 +196,13 @@ def test_perf_campaign_runtime(tmp_path):
         os.path.abspath(__file__))), "BENCH_runtime.json")
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
-    print("\nBENCH_runtime.json: serial {:.1f}s, {} jobs {:.1f}s "
+    print("\nBENCH_runtime.json: serial {:.1f}s, batched {:.1f}s "
           "(x{:.2f}), warm cache {:.2f}s ({:.1%} of cold)".format(
-              serial_s, n_jobs, parallel_s, serial_s / parallel_s,
+              serial_s, batched_s, serial_s / batched_s,
               warm_s, warm_s / cold_s))
 
     # The warm rerun must be dominated by cache lookups, not
     # re-simulation: well under 10% of the cold run.
     assert warm_s < 0.1 * cold_s
+    # The lockstep engine must beat one-sample-at-a-time simulation.
+    assert batched_s < serial_s

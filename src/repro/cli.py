@@ -41,6 +41,10 @@ def _cmd_coverage(args):
         config.n_jobs = args.jobs
     if args.cache_dir:
         config.cache_dir = args.cache_dir
+    if args.engine is not None:
+        config.engine = args.engine
+    if args.batch_size is not None:
+        config.batch_size = args.batch_size
     if args.fault == "open":
         experiment = run_open_coverage(config)
     else:
@@ -208,6 +212,12 @@ def build_parser():
                         "0 = all CPUs)")
     p.add_argument("--cache-dir", default=None,
                    help="enable the on-disk result cache at this path")
+    p.add_argument("--engine", choices=["scalar", "batched"],
+                   default=None,
+                   help="transient backend for the population sweeps "
+                        "(default: REPRO_ENGINE or scalar)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="samples per lockstep batch (batched engine)")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("transfer",

@@ -13,7 +13,9 @@ from ..cells import default_technology
 from ..dft import FlipFlopTiming, calibrate_t_star
 from ..montecarlo import NominalModel
 from ..runtime import CacheMiss, Runtime, stable_hash
-from .pulse import build_instance, measure_output_pulse, measure_path_delay
+from .pulse import (build_instance, measure_output_pulse,
+                    measure_output_pulse_batch, measure_path_delay,
+                    measure_path_delay_batch)
 from .sensing import PulseDetector
 from .transfer import (TransferCurve, characterize_transfer,
                        default_w_in_grid, recommended_w_in)
@@ -37,6 +39,34 @@ def _fault_free_delay_task(payload):
     d, _ = measure_path_delay(path, direction=payload["direction"],
                               **kwargs)
     return float(d)
+
+
+def _build_chunk_instances(payloads):
+    return [build_instance(sample=p["sample"], fault=p["fault"],
+                           tech=p["tech"], **p["path_kwargs"])
+            for p in payloads]
+
+
+def _fault_free_pulse_chunk_task(payloads):
+    """Batched worker: a chunk of fault-free w_out measurements in
+    lockstep."""
+    first = payloads[0]
+    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    paths = _build_chunk_instances(payloads)
+    wouts, _ = measure_output_pulse_batch(paths, first["omega_in"],
+                                          kind=first["kind"], **kwargs)
+    return [float(w) for w in wouts]
+
+
+def _fault_free_delay_chunk_task(payloads):
+    """Batched worker: a chunk of fault-free path delays in lockstep."""
+    first = payloads[0]
+    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    paths = _build_chunk_instances(payloads)
+    delays, _ = measure_path_delay_batch(paths,
+                                         direction=first["direction"],
+                                         **kwargs)
+    return [float(d) for d in delays]
 
 
 def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
@@ -65,16 +95,30 @@ def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
 
 
 def _measure_population(task, samples, payload_base, label, runtime,
-                        report, key_parts):
-    """Run one per-sample measurement task over the population."""
+                        report, key_parts, engine="scalar",
+                        batch_task=None, batch_size=None):
+    """Run one per-sample measurement task over the population.
+
+    ``engine="batched"`` dispatches ``batch_task`` over sample chunks
+    through :meth:`Runtime.run_batched`; cache keys gain an engine tag
+    so scalar- and batched-engine results never alias.
+    """
+    if engine not in ("scalar", "batched"):
+        raise ValueError("unknown engine {!r}".format(engine))
     runtime = Runtime() if runtime is None else runtime
     payloads = [dict(payload_base, sample=sample) for sample in samples]
     keys = None
     if runtime.cache is not None:
-        keys = [stable_hash(label, key_parts, sample)
+        tag = () if engine == "scalar" else ("engine=batched",)
+        keys = [stable_hash(label, key_parts, sample, *tag)
                 for sample in samples]
-    run = runtime.run(task, payloads, keys=keys, label=label,
-                      report=report)
+    if engine == "batched":
+        run = runtime.run_batched(batch_task, payloads, keys=keys,
+                                  batch_size=batch_size, label=label,
+                                  report=report)
+    else:
+        run = runtime.run(task, payloads, keys=keys, label=label,
+                          report=report)
     if run.errors:
         raise run.errors[min(run.errors)]
     return run.values
@@ -104,7 +148,8 @@ class PulseTestCalibration:
 def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
                          w_in_grid=None, sensing_tolerance=0.1,
                          margin=0.03e-9, dt=None, omega_in=None,
-                         runtime=None, report=None, **path_kwargs):
+                         runtime=None, report=None, engine="scalar",
+                         batch_size=None, **path_kwargs):
     """Select (ω_in*, ω_th*) for the path described by ``path_kwargs``.
 
     Steps (Sec. 5 rule + Sec. 4 yield constraint):
@@ -134,7 +179,9 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
         dict(fault=fault, tech=tech, dt=dt, omega_in=float(omega_in),
              kind=kind, path_kwargs=path_kwargs),
         "pulse-calibration", runtime, report,
-        [resolved_tech, fault, float(omega_in), kind, dt, path_kwargs])
+        [resolved_tech, fault, float(omega_in), kind, dt, path_kwargs],
+        engine=engine, batch_task=_fault_free_pulse_chunk_task,
+        batch_size=batch_size)
     weakest = min(wouts)
     if weakest <= 0.0:
         raise ValueError(
@@ -148,7 +195,8 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
 
 def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
                          flipflop=None, skew_tolerance=0.1, dt=None,
-                         runtime=None, report=None, **path_kwargs):
+                         runtime=None, report=None, engine="scalar",
+                         batch_size=None, **path_kwargs):
     """Calibrate the reduced-clock baseline on the same population.
 
     Returns ``(DelayFaultTest, fault_free_delays)``.
@@ -161,7 +209,9 @@ def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
         dict(fault=fault, tech=tech, dt=dt, direction=direction,
              path_kwargs=path_kwargs),
         "delay-calibration", runtime, report,
-        [resolved_tech, fault, direction, dt, path_kwargs])
+        [resolved_tech, fault, direction, dt, path_kwargs],
+        engine=engine, batch_task=_fault_free_delay_chunk_task,
+        batch_size=batch_size)
     test = calibrate_t_star(delays, samples, flipflop,
                             skew_tolerance=skew_tolerance)
     return test, delays

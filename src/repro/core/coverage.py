@@ -22,7 +22,9 @@ from ..cells import default_technology
 from ..faults import FaultSpec, inject, set_fault_resistance
 from ..montecarlo import run_population, wilson_interval
 from ..runtime import Runtime, stable_hash
-from .pulse import build_instance, measure_output_pulse, measure_path_delay
+from .pulse import (build_instance, measure_output_pulse,
+                    measure_output_pulse_batch, measure_path_delay,
+                    measure_path_delay_batch)
 
 
 class CoverageCurve:
@@ -93,9 +95,48 @@ def _sweep_row_task(payload):
     return row
 
 
+def _sweep_chunk_task(payloads):
+    """Batched variant of :func:`_sweep_row_task`: one chunk of samples
+    simulated in lockstep per resistance point."""
+    first = payloads[0]
+    resistances = first["resistances"]
+    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    instances = []
+    for payload in payloads:
+        base = build_instance(sample=payload["sample"],
+                              tech=payload["tech"],
+                              **payload["path_kwargs"])
+        fault = payload["fault"].with_resistance(resistances[0])
+        instances.append(inject(base, fault))
+    rows = [[] for _ in instances]
+    for r in resistances:
+        for faulty in instances:
+            set_fault_resistance(faulty, r)
+        if first["measure"] == "pulse":
+            values, _ = measure_output_pulse_batch(
+                instances, first["omega_in"], kind=first["kind"], **kwargs)
+        else:
+            values, _ = measure_path_delay_batch(
+                instances, direction=first["direction"], **kwargs)
+        for row, value in zip(rows, values):
+            row.append(float(value))
+    return rows
+
+
 def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
-                report, path_kwargs, **measure_spec):
-    """Dispatch one row task per sample through the runtime."""
+                report, path_kwargs, engine="scalar", batch_size=None,
+                **measure_spec):
+    """Dispatch the per-sample measurement rows through the runtime.
+
+    ``engine="scalar"`` runs one task per sample (the reference path);
+    ``engine="batched"`` groups samples into chunks that the lockstep
+    engine simulates together — each chunk is still one executor task,
+    so batching composes with the process pool.  Batched cache keys
+    carry an engine tag so the two engines never serve each other's
+    cached rows (they agree only to tolerance, not bit-exactly).
+    """
+    if engine not in ("scalar", "batched"):
+        raise ValueError("unknown engine {!r}".format(engine))
     tech = default_technology() if tech is None else tech
     runtime = Runtime() if runtime is None else runtime
     resistances = [float(r) for r in resistances]
@@ -105,11 +146,17 @@ def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
                 for sample in samples]
     keys = None
     if runtime.cache is not None:
+        tag = () if engine == "scalar" else ("engine=batched",)
         keys = [stable_hash("sweep-row", tech, sample, fault, resistances,
-                            dt, path_kwargs, measure_spec)
+                            dt, path_kwargs, measure_spec, *tag)
                 for sample in samples]
-    run = runtime.run(_sweep_row_task, payloads, keys=keys, label=label,
-                      report=report)
+    if engine == "batched":
+        run = runtime.run_batched(_sweep_chunk_task, payloads, keys=keys,
+                                  batch_size=batch_size, label=label,
+                                  report=report)
+    else:
+        run = runtime.run(_sweep_row_task, payloads, keys=keys,
+                          label=label, report=report)
     if run.errors:
         raise run.errors[min(run.errors)]
     return run.values
@@ -117,11 +164,13 @@ def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
 
 def sweep_pulse_measurements(samples, fault_family, resistances,
                              omega_in, kind="h", tech=None, dt=None,
-                             runtime=None, report=None, **path_kwargs):
+                             runtime=None, report=None, engine="scalar",
+                             batch_size=None, **path_kwargs):
     """Per-sample, per-R output pulse widths for a fault family.
 
     ``fault_family`` is a fault prototype (any resistance) or a legacy
-    ``r -> FaultSpec`` callable.
+    ``r -> FaultSpec`` callable.  ``engine="batched"`` simulates chunks
+    of ``batch_size`` samples in lockstep (FaultSpec prototypes only).
     """
     if not isinstance(fault_family, FaultSpec):
         kwargs = {} if dt is None else {"dt": dt}
@@ -140,13 +189,15 @@ def sweep_pulse_measurements(samples, fault_family, resistances,
         return run_population(worker, samples).values
     return _sweep_rows(samples, fault_family, resistances, tech, dt,
                        runtime, "pulse-sweep", report, path_kwargs,
+                       engine=engine, batch_size=batch_size,
                        measure="pulse", omega_in=float(omega_in),
                        kind=kind)
 
 
 def sweep_delay_measurements(samples, fault_family, resistances,
                              direction="rise", tech=None, dt=None,
-                             runtime=None, report=None, **path_kwargs):
+                             runtime=None, report=None, engine="scalar",
+                             batch_size=None, **path_kwargs):
     """Per-sample, per-R path delays for a fault family."""
     if not isinstance(fault_family, FaultSpec):
         kwargs = {} if dt is None else {"dt": dt}
@@ -165,6 +216,7 @@ def sweep_delay_measurements(samples, fault_family, resistances,
         return run_population(worker, samples).values
     return _sweep_rows(samples, fault_family, resistances, tech, dt,
                        runtime, "delay-sweep", report, path_kwargs,
+                       engine=engine, batch_size=batch_size,
                        measure="delay", direction=direction)
 
 

@@ -30,12 +30,16 @@ class ExperimentConfig:
     ``n_jobs``/``cache_dir`` describe the campaign runtime: worker
     process count (1 = serial, 0 = all CPUs) and the result-cache
     location (None disables caching).  :meth:`from_env` reads them from
-    ``REPRO_JOBS`` and ``REPRO_CACHE_DIR``.
+    ``REPRO_JOBS`` and ``REPRO_CACHE_DIR``.  ``engine`` selects the
+    transient backend for the population sweeps: ``"scalar"`` (the
+    reference, one sample per task) or ``"batched"`` (lockstep chunks
+    of ``batch_size`` samples; ``REPRO_ENGINE=batched``).
     """
 
     def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
                  rop_resistances=None, bridging_resistances=None,
-                 n_paths=10, n_jobs=None, cache_dir=None):
+                 n_paths=10, n_jobs=None, cache_dir=None,
+                 engine="scalar", batch_size=None):
         self.n_samples = int(n_samples)
         self.dt = float(dt)
         self.seed = int(seed)
@@ -49,6 +53,10 @@ class ExperimentConfig:
         self.n_paths = int(n_paths)
         self.n_jobs = None if n_jobs is None else int(n_jobs)
         self.cache_dir = cache_dir
+        if engine not in ("scalar", "batched"):
+            raise ValueError("unknown engine {!r}".format(engine))
+        self.engine = engine
+        self.batch_size = None if batch_size is None else int(batch_size)
 
     @classmethod
     def from_env(cls, **overrides):
@@ -71,6 +79,8 @@ class ExperimentConfig:
         if os.environ.get("REPRO_CACHE_DIR"):
             overrides.setdefault("cache_dir",
                                  os.environ["REPRO_CACHE_DIR"])
+        if os.environ.get("REPRO_ENGINE"):
+            overrides.setdefault("engine", os.environ["REPRO_ENGINE"])
         return cls(**overrides)
 
     def samples(self):
@@ -171,16 +181,21 @@ def _run_coverage(config, tech, fault_proto, resistances, label,
     runtime = config.runtime() if runtime is None else runtime
     report = RunReport(label)
 
+    engine_kwargs = dict(engine=config.engine,
+                         batch_size=config.batch_size)
     calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt,
-                                       runtime=runtime, report=report)
+                                       runtime=runtime, report=report,
+                                       **engine_kwargs)
     dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt,
-                                     runtime=runtime, report=report)
+                                     runtime=runtime, report=report,
+                                     **engine_kwargs)
     raw_pulse = sweep_pulse_measurements(
         samples, fault_proto, resistances, calibration.omega_in,
-        tech=tech, dt=config.dt, runtime=runtime, report=report)
+        tech=tech, dt=config.dt, runtime=runtime, report=report,
+        **engine_kwargs)
     raw_delay = sweep_delay_measurements(
         samples, fault_proto, resistances, tech=tech, dt=config.dt,
-        runtime=runtime, report=report)
+        runtime=runtime, report=report, **engine_kwargs)
     return CoverageExperiment(
         resistances,
         pulse_coverage(raw_pulse, samples, resistances, calibration),

@@ -57,7 +57,7 @@ class MonteCarloResult:
 
 
 def run_population(worker, samples, progress=None, collect_errors=False,
-                   executor=None):
+                   executor=None, batch_worker=None, batch_size=32):
     """Apply ``worker(sample)`` to every sample.
 
     Parameters
@@ -65,6 +65,7 @@ def run_population(worker, samples, progress=None, collect_errors=False,
     worker:
         Callable taking a variation model and returning any value.
         Must be picklable (module-level) for process-pool executors.
+        May be ``None`` when ``batch_worker`` is given.
     samples:
         Iterable of variation models.
     progress:
@@ -80,9 +81,19 @@ def run_population(worker, samples, progress=None, collect_errors=False,
         the historical in-process loop, including fail-fast semantics:
         without ``collect_errors`` the first error aborts the sweep
         immediately.
+    batch_worker:
+        Optional callable taking a *list* of samples and returning a
+        list of per-sample values (the batched lockstep-engine path).
+        When given it replaces ``worker`` and samples are dispatched in
+        chunks of ``batch_size``; a failing chunk marks all of its
+        samples failed (collect mode) or aborts the sweep.
     """
     samples = list(samples)
     total = len(samples)
+    if batch_worker is not None:
+        return _run_population_batched(batch_worker, samples, total,
+                                       progress, collect_errors,
+                                       executor, batch_size)
     if executor is None or (isinstance(executor, SerialExecutor)
                             and executor.retries == 0):
         values = []
@@ -111,6 +122,76 @@ def run_population(worker, samples, progress=None, collect_errors=False,
             values[outcome.index] = outcome.value
         else:
             errors[outcome.index] = outcome.error()
+    if errors and not collect_errors:
+        raise errors[min(errors)]
+    return MonteCarloResult(samples, values, errors)
+
+
+def _unpack_chunk(value, chunk_len):
+    """Chunk-worker values, or an exception when the result is unusable."""
+    if not isinstance(value, (list, tuple)) or len(value) != chunk_len:
+        got = (len(value) if isinstance(value, (list, tuple))
+               else type(value).__name__)
+        return ValueError("batch worker returned {} values for {} samples"
+                          .format(got, chunk_len))
+    return list(value)
+
+
+def _run_population_batched(batch_worker, samples, total, progress,
+                            collect_errors, executor, batch_size):
+    """Chunked dispatch path of :func:`run_population`.
+
+    Each chunk of samples is one ``batch_worker`` invocation (and one
+    executor task in parallel mode); a failing chunk marks all of its
+    samples with the FAILED sentinel when ``collect_errors`` is set.
+    """
+    batch_size = max(1, int(batch_size))
+    chunks = [list(range(start, min(start + batch_size, total)))
+              for start in range(0, total, batch_size)]
+    values = [FAILED] * total
+    errors = {}
+
+    def record_chunk(chunk, result):
+        unpacked = _unpack_chunk(result, len(chunk))
+        if isinstance(unpacked, list):
+            for index, value in zip(chunk, unpacked):
+                values[index] = value
+        else:
+            for index in chunk:
+                errors[index] = unpacked
+
+    if executor is None or (isinstance(executor, SerialExecutor)
+                            and executor.retries == 0):
+        for chunk in chunks:
+            if progress is not None:
+                for index in chunk:
+                    progress(index, total, samples[index])
+            if collect_errors:
+                try:
+                    result = batch_worker([samples[i] for i in chunk])
+                except Exception as exc:  # noqa: BLE001 - reported to caller
+                    for index in chunk:
+                        errors[index] = exc
+                    continue
+            else:
+                result = batch_worker([samples[i] for i in chunk])
+            record_chunk(chunk, result)
+            if errors and not collect_errors:
+                raise errors[min(errors)]
+        return MonteCarloResult(samples, values, errors)
+
+    if progress is not None:
+        for index, sample in enumerate(samples):
+            progress(index, total, sample)
+    outcomes = executor.map_tasks(
+        batch_worker, [[samples[i] for i in chunk] for chunk in chunks])
+    for outcome in outcomes:
+        chunk = chunks[outcome.index]
+        if outcome.ok:
+            record_chunk(chunk, outcome.value)
+        else:
+            for index in chunk:
+                errors[index] = outcome.error()
     if errors and not collect_errors:
         raise errors[min(errors)]
     return MonteCarloResult(samples, values, errors)

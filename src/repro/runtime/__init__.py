@@ -11,11 +11,13 @@ from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
                         TaskOutcome, TaskTimeout, WorkerError,
                         default_n_jobs)
 from .hashing import canonical_token, stable_hash
-from .runner import DEFAULT_CACHE_DIR, CampaignRun, Runtime
+from .runner import (DEFAULT_BATCH_SIZE, DEFAULT_CACHE_DIR,
+                     CampaignRun, Runtime)
 from .telemetry import RunReport
 
 __all__ = [
     "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
+    "DEFAULT_BATCH_SIZE",
     "SerialExecutor", "ProcessPoolExecutor", "TaskOutcome", "FAILED",
     "WorkerError", "TaskTimeout", "default_n_jobs",
     "ResultCache", "CacheMiss", "CampaignCheckpoint",

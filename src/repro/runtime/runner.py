@@ -27,6 +27,10 @@ from .telemetry import RunReport
 #: default on-disk cache location (overridden by ``REPRO_CACHE_DIR``)
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+#: samples per lockstep batch in :meth:`Runtime.run_batched`; one chunk
+#: is one executor task, so this is also the parallel dispatch grain
+DEFAULT_BATCH_SIZE = 32
+
 
 class CampaignRun:
     """Outcome of one :meth:`Runtime.run` call."""
@@ -112,6 +116,35 @@ class Runtime:
 
     # ------------------------------------------------------------------
 
+    def _scan_cache(self, keys, values, n, label, report, settle):
+        """Fill ``values`` from the cache; returns (checkpoint, pending).
+
+        ``pending`` holds the indices whose key missed (all indices when
+        caching is disabled); ``checkpoint`` is None without a cache.
+        """
+        pending = list(range(n))
+        if self.cache is None or keys is None:
+            return None, pending
+        if len(keys) != n:
+            raise ValueError("need one cache key per payload")
+        campaign_key = stable_hash("campaign", label, list(keys))
+        checkpoint = CampaignCheckpoint(
+            campaign_key, root=self.cache.root,
+            every=self.checkpoint_every)
+        previously = checkpoint.load()
+        checkpoint.n_tasks = n
+        pending = []
+        for index, key in enumerate(keys):
+            try:
+                values[index] = self.cache.get(key)
+            except CacheMiss:
+                pending.append(index)
+                continue
+            report.record_hit(resumed=key in previously)
+            checkpoint.mark_done(key)
+            settle()
+        return checkpoint, pending
+
     def run(self, fn, payloads, keys=None, label="campaign",
             report=None, progress=None):
         """Map ``fn`` over ``payloads``; returns a :class:`CampaignRun`.
@@ -133,27 +166,8 @@ class Runtime:
             if progress is not None:
                 progress(done[0], n)
 
-        checkpoint = None
-        pending = list(range(n))
-        if self.cache is not None and keys is not None:
-            if len(keys) != n:
-                raise ValueError("need one cache key per payload")
-            campaign_key = stable_hash("campaign", label, list(keys))
-            checkpoint = CampaignCheckpoint(
-                campaign_key, root=self.cache.root,
-                every=self.checkpoint_every)
-            previously = checkpoint.load()
-            checkpoint.n_tasks = n
-            pending = []
-            for index, key in enumerate(keys):
-                try:
-                    values[index] = self.cache.get(key)
-                except CacheMiss:
-                    pending.append(index)
-                    continue
-                report.record_hit(resumed=key in previously)
-                checkpoint.mark_done(key)
-                settle()
+        checkpoint, pending = self._scan_cache(keys, values, n, label,
+                                               report, settle)
 
         def on_result(outcome):
             index = pending[outcome.index]
@@ -172,6 +186,84 @@ class Runtime:
                     values[index] = outcome.value
                 else:
                     errors[index] = outcome.error()
+        if checkpoint is not None:
+            checkpoint.flush()
+        report.finish()
+        return CampaignRun(values, errors, report)
+
+    def run_batched(self, fn, payloads, keys=None, batch_size=None,
+                    label="campaign", report=None, progress=None):
+        """Map a *chunk* task over ``payloads`` in lockstep batches.
+
+        ``fn`` receives a **list** of payloads and must return a list of
+        values of the same length (the batched-engine contract: one
+        worker invocation simulates a whole chunk of samples in
+        lockstep).  Each chunk is one executor task, so this composes
+        with the process pool — chunks fan out over workers while the
+        batched engine vectorises within each.  Cache and checkpoint
+        granularity stays **per item**: cached items never re-enter a
+        chunk, and every item of a completed chunk is persisted under
+        its own key.  A failed chunk marks all of its items failed.
+        """
+        payloads = list(payloads)
+        n = len(payloads)
+        batch_size = (DEFAULT_BATCH_SIZE if batch_size is None
+                      else max(1, int(batch_size)))
+        report = RunReport(label) if report is None else report
+        report.start(self.executor)
+        values = [FAILED] * n
+        errors = {}
+        done = [0]
+
+        def settle(count=1):
+            done[0] += count
+            if progress is not None:
+                progress(done[0], n)
+
+        checkpoint, pending = self._scan_cache(keys, values, n, label,
+                                               report, settle)
+        chunks = [pending[i:i + batch_size]
+                  for i in range(0, len(pending), batch_size)]
+
+        def unpack(outcome):
+            """Chunk values, or an exception when the chunk is unusable."""
+            chunk = chunks[outcome.index]
+            if not outcome.ok:
+                return outcome.error()
+            chunk_values = outcome.value
+            if (not isinstance(chunk_values, (list, tuple))
+                    or len(chunk_values) != len(chunk)):
+                return ValueError(
+                    "chunk task returned {} values for {} payloads".format(
+                        len(chunk_values) if isinstance(
+                            chunk_values, (list, tuple)) else
+                        type(chunk_values).__name__, len(chunk)))
+            return list(chunk_values)
+
+        def on_result(outcome):
+            chunk = chunks[outcome.index]
+            unpacked = unpack(outcome)
+            if (isinstance(unpacked, list) and self.cache is not None
+                    and keys is not None):
+                for index, value in zip(chunk, unpacked):
+                    self.cache.put(keys[index], value)
+                    checkpoint.mark_done(keys[index])
+            settle(len(chunk))
+
+        if chunks:
+            outcomes = self.executor.map_tasks(
+                fn, [[payloads[i] for i in chunk] for chunk in chunks],
+                on_result=on_result)
+            for outcome in outcomes:
+                chunk = chunks[outcome.index]
+                report.record_outcome(outcome)
+                unpacked = unpack(outcome)
+                if isinstance(unpacked, list):
+                    for index, value in zip(chunk, unpacked):
+                        values[index] = value
+                else:
+                    for index in chunk:
+                        errors[index] = unpacked
         if checkpoint is not None:
             checkpoint.flush()
         report.finish()

@@ -8,8 +8,9 @@ measurements (pulse width at 0.5*VDD, propagation delay, slew) the paper's
 metrics are built from.
 """
 
-from .analysis import (BACKWARD_EULER, TRAPEZOIDAL, operating_point,
-                       run_transient)
+from .analysis import (BACKWARD_EULER, TRAPEZOIDAL, BatchTransient,
+                       operating_point, run_transient, run_transient_batch)
+from .batch import BatchCompiledCircuit
 from .dcsweep import SweepResult, dc_sweep
 from .elements import (Capacitor, CurrentSource, Resistor, VoltageSource)
 from .errors import (AnalysisError, ConvergenceError, MeasurementError,
@@ -24,7 +25,9 @@ __all__ = [
     "Resistor", "Capacitor", "VoltageSource", "CurrentSource",
     "Mosfet", "MosfetParams", "NMOS", "PMOS",
     "Dc", "Pulse", "Pwl", "Stimulus", "make_stimulus",
-    "operating_point", "run_transient", "BACKWARD_EULER", "TRAPEZOIDAL",
+    "operating_point", "run_transient", "run_transient_batch",
+    "BatchTransient", "BatchCompiledCircuit",
+    "BACKWARD_EULER", "TRAPEZOIDAL",
     "dc_sweep", "SweepResult",
     "Waveform",
     "SpiceError", "NetlistError", "ConvergenceError", "AnalysisError",

@@ -1,7 +1,8 @@
 """Top-level analysis entry points re-exported by :mod:`repro.spice`."""
 
 from .dcop import operating_point
-from .transient import BACKWARD_EULER, TRAPEZOIDAL, run_transient
+from .transient import (BACKWARD_EULER, TRAPEZOIDAL, BatchTransient,
+                        run_transient, run_transient_batch)
 
-__all__ = ["operating_point", "run_transient",
-           "BACKWARD_EULER", "TRAPEZOIDAL"]
+__all__ = ["operating_point", "run_transient", "run_transient_batch",
+           "BatchTransient", "BACKWARD_EULER", "TRAPEZOIDAL"]

@@ -3,7 +3,7 @@
 import numpy as np
 
 from .errors import ConvergenceError
-from .mna import CompiledCircuit, newton_solve
+from .mna import CompiledCircuit, gmin_continuation_solve, newton_solve
 
 
 def solve_dc(compiled, t=0.0, x0=None, gmin=1e-12):
@@ -11,7 +11,8 @@ def solve_dc(compiled, t=0.0, x0=None, gmin=1e-12):
 
     Tries a plain Newton solve first; on failure walks gmin from a heavy
     1e-3 S down to the target in decade steps (continuation), which is
-    enough for static CMOS structures.
+    enough for static CMOS structures.  Rungs that fail to converge are
+    skipped; only the final solve at the target gmin may raise.
     """
     n = compiled.n
     rhs_base = np.zeros(n)
@@ -26,13 +27,8 @@ def solve_dc(compiled, t=0.0, x0=None, gmin=1e-12):
     except ConvergenceError:
         pass
 
-    x = np.array(x0, dtype=float)
-    step_gmin = 1e-3
-    while step_gmin >= gmin * 0.999:
-        x = newton_solve(compiled, a_base, rhs_base, x,
-                         gmin=step_gmin, time=t)
-        step_gmin *= 0.1
-    return newton_solve(compiled, a_base, rhs_base, x, gmin=gmin, time=t)
+    return gmin_continuation_solve(compiled, a_base, rhs_base, x0,
+                                   gmin=gmin, time=t)
 
 
 def dc_residual(circuit, x=None, t=0.0):

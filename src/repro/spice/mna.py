@@ -250,6 +250,7 @@ def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
     x = np.array(x0, dtype=float)
     n_nodes = compiled.n_nodes
     NEWTON_STATS["solves"] += 1
+    last_step = None
     for iteration in range(max_iter):
         NEWTON_STATS["iterations"] += 1
         a = a_base.copy()
@@ -268,9 +269,36 @@ def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
         vstep = np.abs(dx[:n_nodes]).max() if n_nodes else 0.0
         if vstep > damping:
             dx *= damping / vstep
+            last_step = damping
+        else:
+            last_step = vstep
         x = x + dx
         if vstep <= vtol:
             return x
     raise ConvergenceError(
         "Newton failed to converge", iterations=max_iter,
-        residual=float(vstep), time=time)
+        residual=0.0 if last_step is None else float(last_step), time=time)
+
+
+def gmin_continuation_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
+                            time=None, start_gmin=1e-3):
+    """Newton with a gmin-continuation ladder (for hard operating points).
+
+    Walks gmin from ``start_gmin`` down to the target in decade steps; a
+    rung that fails to converge is *skipped* (the ladder continues from
+    the last converged iterate) instead of aborting the whole analysis.
+    The final solve at the target gmin must converge or
+    :class:`ConvergenceError` propagates.
+    """
+    x = np.array(x0, dtype=float)
+    step_gmin = start_gmin
+    while step_gmin >= gmin * 0.999:
+        try:
+            x = newton_solve(compiled, a_base, rhs_base, x,
+                             gmin=step_gmin, time=time)
+        except ConvergenceError:
+            # A failed rung keeps the previous iterate; the next (lighter
+            # or target) rung may still pull it in.
+            pass
+        step_gmin *= 0.1
+    return newton_solve(compiled, a_base, rhs_base, x, gmin=gmin, time=time)

@@ -90,6 +90,29 @@ class Pulse(Stimulus):
             tau = tau % self.period
         return self._single(tau)
 
+    def values_at(self, t):
+        """Vectorised evaluation (used by the batched engine's
+        precomputed source-waveform tables)."""
+        t = np.asarray(t, dtype=float)
+        tau = t - self.delay
+        if self.period is not None:
+            tau = np.where(tau >= 0.0, np.mod(tau, self.period), tau)
+        rise_end = self.rise
+        flat_end = self.rise + self.width
+        fall_end = flat_end + self.fall
+        values = np.full(tau.shape, self.v1)
+        rising = np.logical_and(tau >= 0.0, tau < rise_end)
+        values = np.where(
+            rising, self.v1 + (self.v2 - self.v1) * tau / self.rise, values)
+        values = np.where(
+            np.logical_and(tau >= rise_end, tau < flat_end), self.v2, values)
+        falling = np.logical_and(tau >= flat_end, tau < fall_end)
+        values = np.where(
+            falling,
+            self.v2 + (self.v1 - self.v2) * (tau - flat_end) / self.fall,
+            values)
+        return values
+
     def breakpoints(self, tstop):
         corners = []
         start = self.delay

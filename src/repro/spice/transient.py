@@ -8,8 +8,10 @@ benches use 1-2 ps steps against >= 25 ps edges.
 
 import numpy as np
 
+from .batch import (BatchCompiledCircuit, gmin_ladder_batch,
+                    newton_solve_batch, solve_dc_batch)
 from .errors import AnalysisError, ConvergenceError
-from .mna import CompiledCircuit, newton_solve
+from .mna import CompiledCircuit, gmin_continuation_solve, newton_solve
 from .dcop import solve_dc
 from .waveform import Waveform
 
@@ -114,13 +116,12 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
             x = newton_solve(compiled, a_base, rhs, x, gmin=gmin, time=t)
         except ConvergenceError:
             # Retry with gmin continuation on the *same* companion system;
-            # switching instants occasionally need it.
-            step_gmin = 1e-3
-            while step_gmin >= gmin * 0.999:
-                x = newton_solve(compiled, a_base, rhs, x,
-                                 gmin=step_gmin, time=t)
-                step_gmin *= 0.1
-            x = newton_solve(compiled, a_base, rhs, x, gmin=gmin, time=t)
+            # switching instants occasionally need it.  Rungs that fail
+            # are skipped by the ladder (a second failure used to abort
+            # the whole transient); only the final solve at the target
+            # gmin is allowed to propagate.
+            x = gmin_continuation_solve(compiled, a_base, rhs, x,
+                                        gmin=gmin, time=t)
 
         states[step] = x
         vcap = compiled.cap_branch_voltages(x)
@@ -133,3 +134,161 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
 
     result = TransientResult(compiled, times, states)
     return result.waveform(record)
+
+
+# ----------------------------------------------------------------------
+# Batched (lockstep) transient
+# ----------------------------------------------------------------------
+
+class BatchTransientResult:
+    """Raw lockstep-transient output for a whole population.
+
+    ``states`` is ``(S, n_steps+1, n)``; per-sample views package into
+    the same :class:`Waveform` objects the scalar engine produces.
+    """
+
+    def __init__(self, batch, times, states):
+        self.batch = batch
+        self.times = times
+        self.states = states
+
+    def waveform(self, sample, nodes=None):
+        """One sample's node voltages as a :class:`Waveform`."""
+        batch = self.batch
+        if nodes is None:
+            nodes = batch.node_order
+        signals = {}
+        for node in nodes:
+            idx = batch.index_of(node)
+            if idx < 0:
+                signals[node] = np.zeros_like(self.times)
+            else:
+                signals[node] = self.states[sample, :, idx]
+        return Waveform(self.times, signals)
+
+    def waveforms(self, nodes=None):
+        """Per-sample waveforms, aligned with the input population."""
+        return [self.waveform(s, nodes)
+                for s in range(self.batch.n_samples)]
+
+
+def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
+                        record=None, gmin=1e-12, x0=None):
+    """Simulate a population of topologically identical circuits in
+    lockstep from 0 to ``tstop`` with fixed step ``dt``.
+
+    The population advances through the same time grid together: each
+    Newton iteration assembles all still-active samples with precomputed
+    flat stamp-index maps and performs one stacked ``np.linalg.solve``
+    (see :mod:`repro.spice.batch`).  Source waveforms are precomputed
+    over the whole grid, so no per-step Python loop over stimuli
+    remains.  Semantics (integration method, damped Newton, per-step
+    gmin-continuation retry) mirror :func:`run_transient` per sample;
+    the scalar engine stays the reference implementation and the
+    equivalence suite pins the two within 1e-6 V.
+
+    Parameters mirror :func:`run_transient`; ``circuits`` is a list of
+    symbolic circuits (or a prebuilt
+    :class:`~repro.spice.batch.BatchCompiledCircuit`) and ``x0``, when
+    given, is an ``(S, n)`` initial-state stack.
+
+    Returns a list of :class:`Waveform`, aligned with ``circuits``.
+    """
+    if tstop <= 0 or dt <= 0:
+        raise AnalysisError("tstop and dt must be positive")
+    if method not in (BACKWARD_EULER, TRAPEZOIDAL):
+        raise AnalysisError("unknown integration method {!r}".format(method))
+
+    batch = (circuits if isinstance(circuits, BatchCompiledCircuit)
+             else BatchCompiledCircuit(circuits))
+    n_samples, n = batch.n_samples, batch.n
+
+    if x0 is None:
+        x = solve_dc_batch(batch, t=0.0, gmin=gmin)
+    else:
+        x = np.array(x0, dtype=float)
+        if x.shape != (n_samples, n):
+            raise AnalysisError("x0 has wrong shape")
+
+    n_steps = int(round(tstop / dt))
+    times = np.linspace(0.0, n_steps * dt, n_steps + 1)
+    states = np.empty((n_samples, n_steps + 1, n))
+    states[:, 0] = x
+
+    if method == BACKWARD_EULER:
+        geq_scale = 1.0 / dt
+    else:
+        geq_scale = 2.0 / dt
+    a_base = batch.a_static + batch.cap_companion_matrix(geq_scale)
+    geq = batch.cap_c * geq_scale
+
+    # Source-waveform tables over the whole grid (kills the per-step
+    # Python loop the scalar engine pays in source_rhs).
+    vsrc_tab, isrc_tab = batch.source_tables(times)
+    vsrc_lo, vsrc_hi = batch.n_nodes, batch.n_nodes + batch.n_vsrc
+
+    vcap_prev = batch.cap_branch_voltages(x)
+    icap_prev = np.zeros_like(vcap_prev)
+
+    for step in range(1, n_steps + 1):
+        t = times[step]
+        rhs = np.zeros((n_samples, n))
+        rhs[:, vsrc_lo:vsrc_hi] = vsrc_tab[:, :, step]
+        if batch.n_isrc:
+            rhs += isrc_tab[:, :, step] @ batch.isrc_rhs_incidence
+
+        if batch.n_caps:
+            if method == BACKWARD_EULER:
+                ieq = geq * vcap_prev
+            else:
+                ieq = geq * vcap_prev + icap_prev
+            rhs += ieq @ batch.cap_rhs_incidence
+
+        x_prev = x
+        x, conv = newton_solve_batch(batch, a_base, rhs, x_prev,
+                                     gmin=gmin, time=t)
+        if not conv.all():
+            # gmin-continuation ladder for the failing subset only, from
+            # the previous accepted state (the diverged iterate is
+            # discarded, exactly like the scalar retry path).
+            bad = np.flatnonzero(~conv)
+            x[bad] = gmin_ladder_batch(batch, a_base[bad], rhs[bad],
+                                       x_prev[bad], bad, gmin, time=t)
+
+        states[:, step] = x
+        vcap = batch.cap_branch_voltages(x)
+        if batch.n_caps:
+            if method == BACKWARD_EULER:
+                icap_prev = geq * (vcap - vcap_prev)
+            else:
+                icap_prev = geq * (vcap - vcap_prev) - icap_prev
+        vcap_prev = vcap
+
+    result = BatchTransientResult(batch, times, states)
+    return result.waveforms(record)
+
+
+class BatchTransient:
+    """Reusable lockstep transient runner over a circuit population.
+
+    Thin stateful wrapper around :func:`run_transient_batch` for sweep
+    drivers: holds the population and analysis knobs, and re-lowers on
+    every :meth:`run` because sweeps mutate the circuits in place
+    between runs (e.g. ``set_fault_resistance``); lowering is orders of
+    magnitude cheaper than the transient itself.
+    """
+
+    def __init__(self, circuits, method=TRAPEZOIDAL, gmin=1e-12):
+        self.circuits = list(circuits)
+        self.method = method
+        self.gmin = gmin
+
+    @property
+    def n_samples(self):
+        return len(self.circuits)
+
+    def run(self, tstop, dt, record=None, x0=None):
+        """One lockstep transient; returns per-sample waveforms."""
+        return run_transient_batch(self.circuits, tstop, dt,
+                                   method=self.method, record=record,
+                                   gmin=self.gmin, x0=x0)

@@ -113,3 +113,33 @@ class TestCoverageCurve:
     def test_all_finite_helper(self):
         assert delay_is_all_finite([[1e-9, 2e-9]])
         assert not delay_is_all_finite([[1e-9, math.inf]])
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        from repro.core.coverage import sweep_pulse_measurements
+        from repro.faults import ExternalOpen
+
+        samples = sample_population(2)
+        with pytest.raises(ValueError):
+            sweep_pulse_measurements(samples, ExternalOpen(2, 2e3),
+                                     [2e3], 0.4e-9, engine="vector")
+
+    def test_batched_sweep_matches_scalar(self):
+        """The routed batched sweep reproduces the scalar rows (the
+        full property suite lives in tests/spice/test_batch_engine.py;
+        this pins the coverage-layer routing)."""
+        from repro.core.coverage import sweep_pulse_measurements
+        from repro.faults import ExternalOpen
+
+        samples = sample_population(2, base_seed=1)
+        fault = ExternalOpen(2, 8e3)
+        scalar = sweep_pulse_measurements(samples, fault, [8e3],
+                                          0.40e-9, dt=8e-12)
+        batched = sweep_pulse_measurements(samples, fault, [8e3],
+                                           0.40e-9, dt=8e-12,
+                                           engine="batched",
+                                           batch_size=2)
+        for srow, brow in zip(scalar, batched):
+            for a, b in zip(srow, brow):
+                assert b == pytest.approx(a, abs=1e-9)

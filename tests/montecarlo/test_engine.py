@@ -83,3 +83,58 @@ class TestRunPopulation:
             run_population(boom, population(),
                            executor=SerialExecutor(retries=1))
         assert "bad sample" in str(excinfo.value)
+
+
+class TestRunPopulationBatched:
+    def test_chunked_results_aligned(self):
+        result = run_population(
+            None, population(7),
+            batch_worker=lambda chunk: [m.seed * 2 for m in chunk],
+            batch_size=3)
+        assert result.values == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_progress_sees_every_sample(self):
+        seen = []
+        run_population(None, population(5),
+                       batch_worker=lambda chunk: [0 for _ in chunk],
+                       batch_size=2,
+                       progress=lambda i, n, m: seen.append((i, n)))
+        assert seen == [(i, 5) for i in range(5)]
+
+    def test_chunk_failure_confined_in_collect_mode(self):
+        def flaky(chunk):
+            if any(m.seed == 2 for m in chunk):
+                raise RuntimeError("boom")
+            return [m.seed for m in chunk]
+        result = run_population(None, population(6), batch_worker=flaky,
+                                batch_size=2, collect_errors=True)
+        assert sorted(result.errors) == [2, 3]
+        assert result.values == [0, 1, None, None, 4, 5]
+        assert result.ok_values() == [0, 1, 4, 5]
+
+    def test_chunk_failure_raises_by_default(self):
+        def boom(chunk):
+            raise RuntimeError("boom")
+        with pytest.raises(RuntimeError):
+            run_population(None, population(), batch_worker=boom,
+                           batch_size=2)
+
+    def test_misaligned_batch_worker_rejected(self):
+        result = run_population(None, population(4),
+                                batch_worker=lambda chunk: chunk[:-1],
+                                batch_size=4, collect_errors=True)
+        assert result.n_failed == 4
+        assert all(isinstance(e, ValueError)
+                   for e in result.errors.values())
+
+    def test_executor_path_matches_serial(self):
+        from repro.runtime import SerialExecutor
+
+        def worker(chunk):
+            return [m.seed * 3 for m in chunk]
+        serial = run_population(None, population(6), batch_worker=worker,
+                                batch_size=4)
+        routed = run_population(None, population(6), batch_worker=worker,
+                                batch_size=4,
+                                executor=SerialExecutor(retries=1))
+        assert routed.values == serial.values

@@ -188,3 +188,84 @@ class TestReport:
         with open(path) as handle:
             data = json.load(handle)
         assert data["completed"] == 2
+
+
+def _chunk_double(payloads):
+    return [2 * p["x"] for p in payloads]
+
+
+def _chunk_record_and_double(payloads):
+    return [_record_and_double(p) for p in payloads]
+
+
+def _chunk_short(payloads):
+    return [0] * (len(payloads) - 1)
+
+
+def _chunk_boom(payloads):
+    if any(p["x"] == 2 for p in payloads):
+        raise ValueError("chunk boom")
+    return [2 * p["x"] for p in payloads]
+
+
+class TestBatchedRuns:
+    def test_values_aligned(self):
+        run = Runtime().run_batched(_chunk_double, _payloads(7),
+                                    batch_size=3)
+        assert run.values == [0, 2, 4, 6, 8, 10, 12]
+        assert run.errors == {}
+
+    def test_progress_counts_items_not_chunks(self):
+        calls = []
+        Runtime().run_batched(_chunk_double, _payloads(5), batch_size=2,
+                              progress=lambda done, total: calls.append(
+                                  (done, total)))
+        assert calls == [(2, 5), (4, 5), (5, 5)]
+
+    def test_misaligned_chunk_fails_whole_chunk(self):
+        run = Runtime().run_batched(_chunk_short, _payloads(4),
+                                    batch_size=2)
+        assert run.values == [FAILED] * 4
+        assert sorted(run.errors) == [0, 1, 2, 3]
+        assert all(isinstance(e, ValueError)
+                   for e in run.errors.values())
+
+    def test_chunk_error_confined_to_its_chunk(self):
+        run = Runtime().run_batched(_chunk_boom, _payloads(6),
+                                    batch_size=2)
+        assert run.values[:2] == [0, 2]
+        assert sorted(run.errors) == [2, 3]
+        assert run.values[4:] == [8, 10]
+
+    def test_cache_granularity_is_per_item(self, tmp_path):
+        """Cached items never re-enter a chunk: a partial warm cache
+        shrinks the batched work to the misses only."""
+        log = str(tmp_path / "log")
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        runtime.run(_record_and_double, _payloads(3, log),
+                    keys=_keys(6)[:3], label="b")
+        assert _executions(log) == 3
+        full = runtime.run_batched(_chunk_record_and_double,
+                                   _payloads(6, log), keys=_keys(6),
+                                   batch_size=4, label="b")
+        assert full.values == [0, 2, 4, 6, 8, 10]
+        assert full.report.cache_hits == 3
+        assert _executions(log) == 6
+
+    def test_warm_rerun_is_all_hits(self, tmp_path):
+        log = str(tmp_path / "log")
+        runtime = Runtime(cache=str(tmp_path / "cache"))
+        runtime.run_batched(_chunk_record_and_double, _payloads(5, log),
+                            keys=_keys(5), batch_size=2)
+        rerun = runtime.run_batched(_chunk_record_and_double,
+                                    _payloads(5, log), keys=_keys(5),
+                                    batch_size=2)
+        assert rerun.values == [0, 2, 4, 6, 8]
+        assert rerun.report.cache_hits == 5
+        assert _executions(log) == 5
+
+    def test_process_pool_chunks(self, tmp_path):
+        runtime = Runtime(executor=ProcessPoolExecutor(n_jobs=2))
+        run = runtime.run_batched(_chunk_double, _payloads(6),
+                                  batch_size=2)
+        assert run.values == [0, 2, 4, 6, 8, 10]

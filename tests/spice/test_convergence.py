@@ -5,7 +5,8 @@ import pytest
 
 from repro.spice import Circuit, MosfetParams, Pulse, run_transient
 from repro.spice.errors import ConvergenceError
-from repro.spice.mna import CompiledCircuit, newton_solve
+from repro.spice.mna import (CompiledCircuit, gmin_continuation_solve,
+                             newton_solve)
 from repro.spice.dcop import solve_dc
 
 
@@ -41,6 +42,37 @@ class TestNewtonEdgeCases:
         assert err.iterations == 7
         assert err.residual == 0.5
         assert err.time == 1e-9
+
+    def test_failure_reports_damped_step(self):
+        """The error's residual is the step actually *taken* (after
+        damping), not the raw pre-damping Newton step."""
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        with pytest.raises(ConvergenceError) as info:
+            newton_solve(compiled, compiled.a_static, rhs,
+                         np.zeros(compiled.n) + 100.0, damping=1e-9,
+                         max_iter=5)
+        # the raw step is ~100 V; the clamped step is the damping value
+        assert info.value.residual <= 1e-9
+
+    def test_zero_iteration_budget_reports_cleanly(self):
+        """max_iter=0 never enters the loop; the failure must still
+        carry a well-defined residual instead of crashing."""
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        with pytest.raises(ConvergenceError) as info:
+            newton_solve(compiled, compiled.a_static, rhs,
+                         np.zeros(compiled.n), max_iter=0)
+        assert info.value.residual == 0.0
 
 
 class TestGminStepping:
@@ -78,6 +110,110 @@ class TestGminStepping:
         assert op["n0"] < 2.4
         chain = [op["n{}".format(i)] for i in range(12)]
         assert all(a > b for a, b in zip(chain, chain[1:]))
+
+
+class TestGminContinuationRetry:
+    """The transient retry ladder must survive failing rungs.
+
+    Historically the per-step retry made exactly one heavier-gmin
+    attempt, so a *second* failure aborted the whole transient.  The
+    ladder now skips failed rungs and only the final target-gmin solve
+    may propagate.
+    """
+
+    @staticmethod
+    def _divider():
+        c = Circuit()
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        compiled = CompiledCircuit(c)
+        rhs = np.zeros(compiled.n)
+        compiled.source_rhs(0.0, rhs)
+        return compiled, rhs
+
+    def test_ladder_skips_failing_rungs(self, monkeypatch):
+        """Every rung heavier than 1e-10 fails; the ladder must still
+        reach the target instead of aborting on the second failure."""
+        import repro.spice.mna as mna
+
+        real = newton_solve
+        attempts = []
+
+        def flaky(compiled, a_base, rhs_base, x0, gmin=1e-12, **kwargs):
+            attempts.append(gmin)
+            if gmin > 1e-10:
+                raise ConvergenceError("forced rung failure")
+            return real(compiled, a_base, rhs_base, x0, gmin=gmin,
+                        **kwargs)
+
+        monkeypatch.setattr(mna, "newton_solve", flaky)
+        compiled, rhs = self._divider()
+        x = gmin_continuation_solve(compiled, compiled.a_static, rhs,
+                                    np.zeros(compiled.n))
+        assert x[compiled.index_of("b")] == pytest.approx(0.5, abs=1e-6)
+        # more than two rungs were attempted before one succeeded
+        assert sum(1 for g in attempts if g > 1e-10) >= 2
+
+    def test_final_rung_failure_propagates(self, monkeypatch):
+        import repro.spice.mna as mna
+
+        def hopeless(*args, **kwargs):
+            raise ConvergenceError("never converges")
+
+        monkeypatch.setattr(mna, "newton_solve", hopeless)
+        compiled, rhs = self._divider()
+        with pytest.raises(ConvergenceError):
+            gmin_continuation_solve(compiled, compiled.a_static, rhs,
+                                    np.zeros(compiled.n))
+
+    def test_transient_survives_double_failure_at_switching_instant(
+            self, monkeypatch):
+        """A hard switching instant where plain Newton fails *and* the
+        ladder's first rungs fail must not abort run_transient."""
+        import repro.spice.mna as mna
+        import repro.spice.transient as transient
+
+        c = Circuit()
+        pn = MosfetParams(kp=120e-6, vt=0.5, lam=0.06, cgs=2e-15)
+        pp = MosfetParams(kp=40e-6, vt=0.55, lam=0.08, cgs=5e-15)
+        c.add_vsource("VDD", "vdd", "0", 2.5)
+        c.add_vsource("VIN", "a", "0",
+                      Pulse(0, 2.5, delay=50e-12, rise=2e-12, width=1.0))
+        c.add_nmos("MN", "y", "a", "0", "0", 1e-6, 0.25e-6, pn)
+        c.add_pmos("MP", "y", "a", "vdd", "vdd", 2.5e-6, 0.25e-6, pp)
+        c.add_capacitor("CL", "y", "0", 20e-15)
+
+        reference = run_transient(c, 0.3e-9, 2e-12, record=["y"])
+
+        real = newton_solve
+        forced = {"direct": 0}
+
+        def fail_mid_edge(compiled, a_base, rhs_base, x0, gmin=1e-12,
+                          **kwargs):
+            # the direct per-step solve fails once, mid input edge
+            t = kwargs.get("time")
+            if (t is not None and forced["direct"] == 0
+                    and t >= 51e-12):
+                forced["direct"] += 1
+                raise ConvergenceError("forced step failure", time=t)
+            return real(compiled, a_base, rhs_base, x0, gmin=gmin,
+                        **kwargs)
+
+        def fail_heavy_rungs(compiled, a_base, rhs_base, x0, gmin=1e-12,
+                             **kwargs):
+            # the retry ladder's heavy rungs fail too (the old "second
+            # failure" that aborted the run)
+            if gmin > 1e-6:
+                raise ConvergenceError("forced rung failure")
+            return real(compiled, a_base, rhs_base, x0, gmin=gmin,
+                        **kwargs)
+
+        monkeypatch.setattr(transient, "newton_solve", fail_mid_edge)
+        monkeypatch.setattr(mna, "newton_solve", fail_heavy_rungs)
+        wf = run_transient(c, 0.3e-9, 2e-12, record=["y"])
+        assert forced["direct"] == 1
+        assert np.abs(wf["y"] - reference["y"]).max() < 1e-4
 
 
 class TestTransientRobustness:
