@@ -5,8 +5,9 @@ they track the cost of the primitive operations every experiment is
 built from, so performance regressions in the MNA core show up here.
 
 ``test_perf_campaign_runtime`` additionally writes ``BENCH_runtime.json``
-at the repo root (serial vs parallel vs batched samples/sec, cache-warm
-speedup) so later PRs can track the campaign runtime's perf trajectory.
+at the repo root (serial vs parallel vs batched vs adaptive samples/sec,
+accepted/rejected adaptive step counts, cache-warm speedup) so later PRs
+can track the campaign runtime's perf trajectory.
 Knobs: ``REPRO_BENCH_SAMPLES`` (population size, default 32),
 ``REPRO_BENCH_JOBS`` (parallel worker count, default min(4, CPUs)),
 ``REPRO_BENCH_BATCH`` (lockstep batch size, default 32).
@@ -136,6 +137,20 @@ def test_perf_campaign_runtime(tmp_path):
     serial_rows, serial_s = timed(Runtime(executor=SerialExecutor()))
     batched_rows, batched_s = timed(Runtime(executor=SerialExecutor()),
                                     engine="batched")
+
+    # Adaptive grid: same workload on the LTE-controlled time base.
+    from repro.spice import ADAPTIVE_STATS
+
+    stats_before = dict(ADAPTIVE_STATS)
+    t0 = time.perf_counter()
+    adaptive_rows = sweep_pulse_measurements(
+        samples, fault, resistances,
+        runtime=Runtime(executor=SerialExecutor()), adaptive=True,
+        **sweep_kwargs)
+    adaptive_s = time.perf_counter() - t0
+    adaptive_accepted = ADAPTIVE_STATS["accepted"] - stats_before["accepted"]
+    adaptive_rejected = ADAPTIVE_STATS["rejected"] - stats_before["rejected"]
+    adaptive_runs = ADAPTIVE_STATS["runs"] - stats_before["runs"]
     if cpus > 1:
         parallel_rows, parallel_s = timed(
             Runtime(executor=ProcessPoolExecutor(n_jobs=n_jobs)))
@@ -165,6 +180,28 @@ def test_perf_campaign_runtime(tmp_path):
                 for a, b in zip(srow, brow))
     assert worst < 1e-12, worst
 
+    # The adaptive grid changes the time base, so rows agree only to
+    # measurement tolerance (the equivalence suite pins 0.1 ps against
+    # a 4x finer grid; the 5 ps bench grid itself carries more error,
+    # so the gate here is looser).
+    worst_adaptive = max(abs(a - b)
+                         for srow, arow in zip(serial_rows, adaptive_rows)
+                         for a, b in zip(srow, arow))
+    assert worst_adaptive < 2e-12, worst_adaptive
+
+    # Fixed-grid step count of the same workload, for the step budget:
+    # every measurement simulates the same per-path window.
+    import math as _math
+
+    from repro.core.pulse import simulation_window
+
+    probe = build_path()
+    stim_delay = probe.set_input_pulse(sweep_kwargs["omega_in"], kind="h")
+    tstop = simulation_window(probe, w_in=sweep_kwargs["omega_in"],
+                              stimulus_delay=stim_delay)
+    fixed_steps_per_run = _math.ceil(tstop / sweep_kwargs["dt"])
+    adaptive_steps_per_run = adaptive_accepted / max(1, adaptive_runs)
+
     report = {
         "workload": {
             "sweep": "external open C_pulse rows",
@@ -186,6 +223,19 @@ def test_perf_campaign_runtime(tmp_path):
             "speedup_vs_serial": serial_s / batched_s,
             "max_abs_row_diff_vs_serial": worst,
         },
+        "adaptive": {
+            "wall_time_s": adaptive_s,
+            "samples_per_second": n_samples / adaptive_s,
+            "speedup_vs_serial": serial_s / adaptive_s,
+            "transient_runs": adaptive_runs,
+            "accepted_steps": adaptive_accepted,
+            "rejected_steps": adaptive_rejected,
+            "accepted_steps_per_run": adaptive_steps_per_run,
+            "fixed_steps_per_run": fixed_steps_per_run,
+            "step_reduction_vs_fixed":
+                fixed_steps_per_run / max(1.0, adaptive_steps_per_run),
+            "max_abs_row_diff_vs_serial": worst_adaptive,
+        },
         "cache": {
             "cold_wall_time_s": cold_s,
             "warm_wall_time_s": warm_s,
@@ -197,8 +247,11 @@ def test_perf_campaign_runtime(tmp_path):
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print("\nBENCH_runtime.json: serial {:.1f}s, batched {:.1f}s "
-          "(x{:.2f}), warm cache {:.2f}s ({:.1%} of cold)".format(
+          "(x{:.2f}), adaptive {:.1f}s (x{:.2f}, {:.0f} vs {} steps), "
+          "warm cache {:.2f}s ({:.1%} of cold)".format(
               serial_s, batched_s, serial_s / batched_s,
+              adaptive_s, serial_s / adaptive_s,
+              adaptive_steps_per_run, fixed_steps_per_run,
               warm_s, warm_s / cold_s))
 
     # The warm rerun must be dominated by cache lookups, not
@@ -206,3 +259,5 @@ def test_perf_campaign_runtime(tmp_path):
     assert warm_s < 0.1 * cold_s
     # The lockstep engine must beat one-sample-at-a-time simulation.
     assert batched_s < serial_s
+    # The adaptive grid must spend at most half the fixed grid's steps.
+    assert adaptive_steps_per_run * 2 <= fixed_steps_per_run

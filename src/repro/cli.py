@@ -45,6 +45,11 @@ def _cmd_coverage(args):
         config.engine = args.engine
     if args.batch_size is not None:
         config.batch_size = args.batch_size
+    if args.adaptive:
+        config.adaptive = True
+    if args.lte_tol is not None:
+        config.adaptive = True
+        config.lte_tol = args.lte_tol
     if args.fault == "open":
         experiment = run_open_coverage(config)
     else:
@@ -218,6 +223,12 @@ def build_parser():
                         "(default: REPRO_ENGINE or scalar)")
     p.add_argument("--batch-size", type=int, default=None,
                    help="samples per lockstep batch (batched engine)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="LTE-controlled adaptive time grid "
+                        "(default: REPRO_ADAPTIVE or fixed-step)")
+    p.add_argument("--lte-tol", type=float, default=None,
+                   help="adaptive per-step error tolerance in volts "
+                        "(implies --adaptive; default: engine default)")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("transfer",

@@ -12,18 +12,26 @@ Section 4's conservative, yield-first procedure:
 from ..cells import default_technology
 from ..dft import FlipFlopTiming, calibrate_t_star
 from ..montecarlo import NominalModel
-from ..runtime import CacheMiss, Runtime, stable_hash
+from ..runtime import CacheMiss, Runtime, engine_cache_tag, stable_hash
 from .pulse import (build_instance, measure_output_pulse,
                     measure_output_pulse_batch, measure_path_delay,
-                    measure_path_delay_batch)
+                    measure_path_delay_batch, transient_kwargs)
 from .sensing import PulseDetector
 from .transfer import (TransferCurve, characterize_transfer,
                        default_w_in_grid, recommended_w_in)
 
 
+def _grid_kwargs(payload):
+    """Time-grid kwargs (dt + adaptive knobs) encoded in a payload."""
+    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    kwargs.update(transient_kwargs(payload.get("adaptive", False),
+                                   payload.get("lte_tol")))
+    return kwargs
+
+
 def _fault_free_pulse_task(payload):
     """Worker: one fault-free instance's w_out at the calibrated ω_in."""
-    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    kwargs = _grid_kwargs(payload)
     path = build_instance(sample=payload["sample"], fault=payload["fault"],
                           tech=payload["tech"], **payload["path_kwargs"])
     w_out, _ = measure_output_pulse(path, payload["omega_in"],
@@ -33,7 +41,7 @@ def _fault_free_pulse_task(payload):
 
 def _fault_free_delay_task(payload):
     """Worker: one fault-free instance's path delay."""
-    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    kwargs = _grid_kwargs(payload)
     path = build_instance(sample=payload["sample"], fault=payload["fault"],
                           tech=payload["tech"], **payload["path_kwargs"])
     d, _ = measure_path_delay(path, direction=payload["direction"],
@@ -51,7 +59,7 @@ def _fault_free_pulse_chunk_task(payloads):
     """Batched worker: a chunk of fault-free w_out measurements in
     lockstep."""
     first = payloads[0]
-    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    kwargs = _grid_kwargs(first)
     paths = _build_chunk_instances(payloads)
     wouts, _ = measure_output_pulse_batch(paths, first["omega_in"],
                                           kind=first["kind"], **kwargs)
@@ -61,7 +69,7 @@ def _fault_free_pulse_chunk_task(payloads):
 def _fault_free_delay_chunk_task(payloads):
     """Batched worker: a chunk of fault-free path delays in lockstep."""
     first = payloads[0]
-    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    kwargs = _grid_kwargs(first)
     paths = _build_chunk_instances(payloads)
     delays, _ = measure_path_delay_batch(paths,
                                          direction=first["direction"],
@@ -96,7 +104,8 @@ def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
 
 def _measure_population(task, samples, payload_base, label, runtime,
                         report, key_parts, engine="scalar",
-                        batch_task=None, batch_size=None):
+                        batch_task=None, batch_size=None, adaptive=False,
+                        lte_tol=None):
     """Run one per-sample measurement task over the population.
 
     ``engine="batched"`` dispatches ``batch_task`` over sample chunks
@@ -106,10 +115,12 @@ def _measure_population(task, samples, payload_base, label, runtime,
     if engine not in ("scalar", "batched"):
         raise ValueError("unknown engine {!r}".format(engine))
     runtime = Runtime() if runtime is None else runtime
-    payloads = [dict(payload_base, sample=sample) for sample in samples]
+    payloads = [dict(payload_base, sample=sample, adaptive=adaptive,
+                     lte_tol=lte_tol)
+                for sample in samples]
     keys = None
     if runtime.cache is not None:
-        tag = () if engine == "scalar" else ("engine=batched",)
+        tag = engine_cache_tag(engine, adaptive, lte_tol)
         keys = [stable_hash(label, key_parts, sample, *tag)
                 for sample in samples]
     if engine == "batched":
@@ -149,7 +160,8 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
                          w_in_grid=None, sensing_tolerance=0.1,
                          margin=0.03e-9, dt=None, omega_in=None,
                          runtime=None, report=None, engine="scalar",
-                         batch_size=None, **path_kwargs):
+                         batch_size=None, adaptive=False, lte_tol=None,
+                         **path_kwargs):
     """Select (ω_in*, ω_th*) for the path described by ``path_kwargs``.
 
     Steps (Sec. 5 rule + Sec. 4 yield constraint):
@@ -181,7 +193,7 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
         "pulse-calibration", runtime, report,
         [resolved_tech, fault, float(omega_in), kind, dt, path_kwargs],
         engine=engine, batch_task=_fault_free_pulse_chunk_task,
-        batch_size=batch_size)
+        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol)
     weakest = min(wouts)
     if weakest <= 0.0:
         raise ValueError(
@@ -196,7 +208,8 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
 def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
                          flipflop=None, skew_tolerance=0.1, dt=None,
                          runtime=None, report=None, engine="scalar",
-                         batch_size=None, **path_kwargs):
+                         batch_size=None, adaptive=False, lte_tol=None,
+                         **path_kwargs):
     """Calibrate the reduced-clock baseline on the same population.
 
     Returns ``(DelayFaultTest, fault_free_delays)``.
@@ -211,7 +224,7 @@ def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
         "delay-calibration", runtime, report,
         [resolved_tech, fault, direction, dt, path_kwargs],
         engine=engine, batch_task=_fault_free_delay_chunk_task,
-        batch_size=batch_size)
+        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol)
     test = calibrate_t_star(delays, samples, flipflop,
                             skew_tolerance=skew_tolerance)
     return test, delays

@@ -21,24 +21,46 @@ import math
 from ..cells import default_technology
 from ..faults import FaultSpec, inject, set_fault_resistance
 from ..montecarlo import run_population, wilson_interval
-from ..runtime import Runtime, stable_hash
+from ..runtime import Runtime, engine_cache_tag, stable_hash
 from .pulse import (build_instance, measure_output_pulse,
                     measure_output_pulse_batch, measure_path_delay,
                     measure_path_delay_batch)
 
 
 class CoverageCurve:
-    """C(R) for one test-parameter setting."""
+    """C(R) for one test-parameter setting.
 
-    def __init__(self, label, resistances, coverage, n_samples):
+    Stores the integer detection counts (``hits``) per R point; the
+    coverage fractions are derived from them.  An earlier version stored
+    only the float ratios and reconstructed hit counts for the Wilson
+    intervals via ``round(c * n_samples)`` — information loss that
+    silently mis-binned averaged or externally-supplied ratios (e.g.
+    0.375 of 4 banker's-rounds to 2 hits).  Keeping the counts makes the
+    intervals exact by construction.
+    """
+
+    def __init__(self, label, resistances, hits, n_samples):
         self.label = label
         self.resistances = list(resistances)
-        self.coverage = list(coverage)
-        self.n_samples = n_samples
+        self.n_samples = int(n_samples)
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.hits = []
+        for h in hits:
+            if h != int(h):
+                raise ValueError(
+                    "hit counts must be integers, got {!r} (pass the raw "
+                    "detection counts, not coverage ratios)".format(h))
+            h = int(h)
+            if not 0 <= h <= self.n_samples:
+                raise ValueError(
+                    "hit count {} outside [0, n_samples={}]".format(
+                        h, self.n_samples))
+            self.hits.append(h)
+        self.coverage = [h / self.n_samples for h in self.hits]
 
     def confidence_intervals(self):
-        return [wilson_interval(round(c * self.n_samples), self.n_samples)
-                for c in self.coverage]
+        return [wilson_interval(h, self.n_samples) for h in self.hits]
 
     def minimum_detectable_r(self, target=1.0):
         """Smallest sampled R with coverage >= target (None if never)."""
@@ -73,10 +95,20 @@ class CoverageResult:
 # Sweep row tasks (module-level: picklable for the process pool)
 # ----------------------------------------------------------------------
 
+def _measure_kwargs(payload):
+    """Measurement kwargs (time grid) encoded in a row payload."""
+    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    if payload.get("adaptive"):
+        kwargs["adaptive"] = True
+        if payload.get("lte_tol") is not None:
+            kwargs["lte_tol"] = payload["lte_tol"]
+    return kwargs
+
+
 def _sweep_row_task(payload):
     """One sample's measurement row over the resistance grid."""
     resistances = payload["resistances"]
-    kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
+    kwargs = _measure_kwargs(payload)
     base = build_instance(sample=payload["sample"], tech=payload["tech"],
                           **payload["path_kwargs"])
     fault = payload["fault"].with_resistance(resistances[0])
@@ -100,7 +132,7 @@ def _sweep_chunk_task(payloads):
     simulated in lockstep per resistance point."""
     first = payloads[0]
     resistances = first["resistances"]
-    kwargs = {} if first["dt"] is None else {"dt": first["dt"]}
+    kwargs = _measure_kwargs(first)
     instances = []
     for payload in payloads:
         base = build_instance(sample=payload["sample"],
@@ -125,7 +157,7 @@ def _sweep_chunk_task(payloads):
 
 def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
                 report, path_kwargs, engine="scalar", batch_size=None,
-                **measure_spec):
+                adaptive=False, lte_tol=None, **measure_spec):
     """Dispatch the per-sample measurement rows through the runtime.
 
     ``engine="scalar"`` runs one task per sample (the reference path);
@@ -142,11 +174,11 @@ def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
     resistances = [float(r) for r in resistances]
     payloads = [dict(sample=sample, fault=fault, resistances=resistances,
                      tech=tech, dt=dt, path_kwargs=path_kwargs,
-                     **measure_spec)
+                     adaptive=adaptive, lte_tol=lte_tol, **measure_spec)
                 for sample in samples]
     keys = None
     if runtime.cache is not None:
-        tag = () if engine == "scalar" else ("engine=batched",)
+        tag = engine_cache_tag(engine, adaptive, lte_tol)
         keys = [stable_hash("sweep-row", tech, sample, fault, resistances,
                             dt, path_kwargs, measure_spec, *tag)
                 for sample in samples]
@@ -165,7 +197,8 @@ def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
 def sweep_pulse_measurements(samples, fault_family, resistances,
                              omega_in, kind="h", tech=None, dt=None,
                              runtime=None, report=None, engine="scalar",
-                             batch_size=None, **path_kwargs):
+                             batch_size=None, adaptive=False,
+                             lte_tol=None, **path_kwargs):
     """Per-sample, per-R output pulse widths for a fault family.
 
     ``fault_family`` is a fault prototype (any resistance) or a legacy
@@ -190,6 +223,7 @@ def sweep_pulse_measurements(samples, fault_family, resistances,
     return _sweep_rows(samples, fault_family, resistances, tech, dt,
                        runtime, "pulse-sweep", report, path_kwargs,
                        engine=engine, batch_size=batch_size,
+                       adaptive=adaptive, lte_tol=lte_tol,
                        measure="pulse", omega_in=float(omega_in),
                        kind=kind)
 
@@ -197,7 +231,8 @@ def sweep_pulse_measurements(samples, fault_family, resistances,
 def sweep_delay_measurements(samples, fault_family, resistances,
                              direction="rise", tech=None, dt=None,
                              runtime=None, report=None, engine="scalar",
-                             batch_size=None, **path_kwargs):
+                             batch_size=None, adaptive=False,
+                             lte_tol=None, **path_kwargs):
     """Per-sample, per-R path delays for a fault family."""
     if not isinstance(fault_family, FaultSpec):
         kwargs = {} if dt is None else {"dt": dt}
@@ -217,6 +252,7 @@ def sweep_delay_measurements(samples, fault_family, resistances,
     return _sweep_rows(samples, fault_family, resistances, tech, dt,
                        runtime, "delay-sweep", report, path_kwargs,
                        engine=engine, batch_size=batch_size,
+                       adaptive=adaptive, lte_tol=lte_tol,
                        measure="delay", direction=direction)
 
 
@@ -233,15 +269,15 @@ def pulse_coverage(raw, samples, resistances, calibration,
     n = len(samples)
     for factor in threshold_factors:
         detector = calibration.detector.scaled(factor)
-        coverage = []
+        hit_counts = []
         for ri in range(len(resistances)):
             hits = 0
             for si in range(n):
                 if detector.fault_detected(raw[si][ri]):
                     hits += 1
-            coverage.append(hits / n)
+            hit_counts.append(hits)
         label = "{:.1f}*w_th".format(factor)
-        curves[label] = CoverageCurve(label, resistances, coverage, n)
+        curves[label] = CoverageCurve(label, resistances, hit_counts, n)
     return CoverageResult(resistances, curves, raw)
 
 
@@ -251,16 +287,16 @@ def delay_coverage(raw, samples, resistances, test,
     curves = {}
     n = len(samples)
     for factor in period_factors:
-        coverage = []
+        hit_counts = []
         for ri in range(len(resistances)):
             hits = 0
             for si, sample in enumerate(samples):
                 if test.detects(raw[si][ri], sample=sample,
                                 t_factor=factor):
                     hits += 1
-            coverage.append(hits / n)
+            hit_counts.append(hits)
         label = "{:.1f}*T".format(factor)
-        curves[label] = CoverageCurve(label, resistances, coverage, n)
+        curves[label] = CoverageCurve(label, resistances, hit_counts, n)
     return CoverageResult(resistances, curves, raw)
 
 

@@ -33,13 +33,17 @@ class ExperimentConfig:
     ``REPRO_JOBS`` and ``REPRO_CACHE_DIR``.  ``engine`` selects the
     transient backend for the population sweeps: ``"scalar"`` (the
     reference, one sample per task) or ``"batched"`` (lockstep chunks
-    of ``batch_size`` samples; ``REPRO_ENGINE=batched``).
+    of ``batch_size`` samples; ``REPRO_ENGINE=batched``).  ``adaptive``
+    switches both engines to the LTE-controlled time grid
+    (``REPRO_ADAPTIVE=1``) with per-step tolerance ``lte_tol``
+    (``REPRO_LTE_TOL``, volts; None uses the engine default).
     """
 
     def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
                  rop_resistances=None, bridging_resistances=None,
                  n_paths=10, n_jobs=None, cache_dir=None,
-                 engine="scalar", batch_size=None):
+                 engine="scalar", batch_size=None, adaptive=False,
+                 lte_tol=None):
         self.n_samples = int(n_samples)
         self.dt = float(dt)
         self.seed = int(seed)
@@ -57,6 +61,8 @@ class ExperimentConfig:
             raise ValueError("unknown engine {!r}".format(engine))
         self.engine = engine
         self.batch_size = None if batch_size is None else int(batch_size)
+        self.adaptive = bool(adaptive)
+        self.lte_tol = None if lte_tol is None else float(lte_tol)
 
     @classmethod
     def from_env(cls, **overrides):
@@ -81,6 +87,11 @@ class ExperimentConfig:
                                  os.environ["REPRO_CACHE_DIR"])
         if os.environ.get("REPRO_ENGINE"):
             overrides.setdefault("engine", os.environ["REPRO_ENGINE"])
+        if os.environ.get("REPRO_ADAPTIVE"):
+            overrides.setdefault("adaptive", True)
+        if os.environ.get("REPRO_LTE_TOL"):
+            overrides.setdefault("lte_tol",
+                                 float(os.environ["REPRO_LTE_TOL"]))
         return cls(**overrides)
 
     def samples(self):
@@ -182,7 +193,9 @@ def _run_coverage(config, tech, fault_proto, resistances, label,
     report = RunReport(label)
 
     engine_kwargs = dict(engine=config.engine,
-                         batch_size=config.batch_size)
+                         batch_size=config.batch_size,
+                         adaptive=config.adaptive,
+                         lte_tol=config.lte_tol)
     calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt,
                                        runtime=runtime, report=report,
                                        **engine_kwargs)

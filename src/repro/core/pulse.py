@@ -25,6 +25,28 @@ GATE_DELAY_BUDGET = 0.35e-9
 WINDOW_MARGIN = 1.2e-9
 
 
+def transient_kwargs(adaptive=False, lte_tol=None, dt_min=None,
+                     dt_max=None):
+    """Time-grid keyword set shared by the measurement drivers.
+
+    Normalises the adaptive knobs into the kwargs both
+    :func:`~repro.spice.run_transient` and
+    :func:`~repro.spice.run_transient_batch` accept; with
+    ``adaptive=False`` the extra knobs are ignored and the fixed-step
+    reference grid is used.
+    """
+    if not adaptive:
+        return {}
+    kwargs = {"adaptive": True}
+    if lte_tol is not None:
+        kwargs["lte_tol"] = float(lte_tol)
+    if dt_min is not None:
+        kwargs["dt_min"] = float(dt_min)
+    if dt_max is not None:
+        kwargs["dt_max"] = float(dt_max)
+    return kwargs
+
+
 def build_instance(sample=None, fault=None, tech=None, **path_kwargs):
     """Build one (possibly faulty) circuit instance.
 
@@ -68,7 +90,8 @@ def simulation_window(path, w_in=0.0, stimulus_delay=0.0):
 
 
 def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
-                         record_all=False):
+                         record_all=False, adaptive=False, lte_tol=None,
+                         dt_min=None, dt_max=None):
     """Inject a pulse and measure ``w_out`` at the path output.
 
     Returns ``(w_out, waveform)``; ``w_out`` is the width of the widest
@@ -80,7 +103,9 @@ def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
     delay = path.set_input_pulse(w_in, kind=kind)
     tstop = simulation_window(path, w_in=w_in, stimulus_delay=delay)
     record = None if record_all else [path.input_node, path.output_node]
-    waveform = run_transient(path.circuit, tstop, dt, record=record)
+    waveform = run_transient(path.circuit, tstop, dt, record=record,
+                             **transient_kwargs(adaptive, lte_tol,
+                                                dt_min, dt_max))
     level = path.tech.vdd_half if level is None else level
     polarity = output_pulse_polarity(path, kind)
     w_out = waveform.widest_pulse(path.output_node, level, polarity)
@@ -88,7 +113,8 @@ def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
 
 
 def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
-                               level=None):
+                               level=None, adaptive=False, lte_tol=None,
+                               dt_min=None, dt_max=None):
     """Batched ``w_out`` measurement over topologically identical paths.
 
     All instances are simulated in lockstep by the batched transient
@@ -104,7 +130,9 @@ def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
                 for path, delay in zip(paths, delays))
     record = [paths[0].input_node, paths[0].output_node]
     waveforms = run_transient_batch([path.circuit for path in paths],
-                                    tstop, dt, record=record)
+                                    tstop, dt, record=record,
+                                    **transient_kwargs(adaptive, lte_tol,
+                                                       dt_min, dt_max))
     w_outs = []
     for path, waveform in zip(paths, waveforms):
         lv = path.tech.vdd_half if level is None else level
@@ -114,7 +142,8 @@ def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
 
 
 def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
-                             level=None):
+                             level=None, adaptive=False, lte_tol=None,
+                             dt_min=None, dt_max=None):
     """Batched propagation-delay measurement (lockstep population).
 
     Returns ``(delays, waveforms)``; non-crossing outputs report
@@ -126,7 +155,9 @@ def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
                 for path, delay in zip(paths, stim_delays))
     record = [paths[0].input_node, paths[0].output_node]
     waveforms = run_transient_batch([path.circuit for path in paths],
-                                    tstop, dt, record=record)
+                                    tstop, dt, record=record,
+                                    **transient_kwargs(adaptive, lte_tol,
+                                                       dt_min, dt_max))
     delays = []
     for path, waveform in zip(paths, waveforms):
         lv = path.tech.vdd_half if level is None else level
@@ -136,7 +167,9 @@ def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
     return delays, waveforms
 
 
-def measure_path_delay(path, direction="rise", dt=DEFAULT_DT, level=None):
+def measure_path_delay(path, direction="rise", dt=DEFAULT_DT, level=None,
+                       adaptive=False, lte_tol=None, dt_min=None,
+                       dt_max=None):
     """Propagation delay for a single input transition.
 
     Returns ``(delay, waveform)``.  When the output never crosses the
@@ -147,7 +180,9 @@ def measure_path_delay(path, direction="rise", dt=DEFAULT_DT, level=None):
     delay = path.set_input_transition(direction)
     tstop = simulation_window(path, stimulus_delay=delay)
     waveform = run_transient(path.circuit, tstop, dt,
-                             record=[path.input_node, path.output_node])
+                             record=[path.input_node, path.output_node],
+                             **transient_kwargs(adaptive, lte_tol,
+                                                dt_min, dt_max))
     level = path.tech.vdd_half if level is None else level
     d = waveform.propagation_delay(path.input_node, path.output_node, level)
     if d is None:

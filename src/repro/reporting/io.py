@@ -40,6 +40,10 @@ def coverage_result_to_dict(result):
             label: [float(c) for c in result.curve(label).coverage]
             for label in result.labels()
         },
+        "hits": {
+            label: [int(h) for h in result.curve(label).hits]
+            for label in result.labels()
+        },
         "n_samples": {
             label: result.curve(label).n_samples
             for label in result.labels()

@@ -12,12 +12,12 @@ from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
                         default_n_jobs)
 from .hashing import canonical_token, stable_hash
 from .runner import (DEFAULT_BATCH_SIZE, DEFAULT_CACHE_DIR,
-                     CampaignRun, Runtime)
+                     CampaignRun, Runtime, engine_cache_tag)
 from .telemetry import RunReport
 
 __all__ = [
     "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
-    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_BATCH_SIZE", "engine_cache_tag",
     "SerialExecutor", "ProcessPoolExecutor", "TaskOutcome", "FAILED",
     "WorkerError", "TaskTimeout", "default_n_jobs",
     "ResultCache", "CacheMiss", "CampaignCheckpoint",

@@ -32,6 +32,26 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 DEFAULT_BATCH_SIZE = 32
 
 
+def engine_cache_tag(engine="scalar", adaptive=False, lte_tol=None):
+    """Cache-key tag tuple for the simulation-engine configuration.
+
+    Results from different engines or time-grid disciplines agree only
+    to tolerance, never bit-exactly, so their cached rows must not alias.
+    The scalar fixed-step reference contributes no tokens (keeps every
+    pre-existing cache entry valid); the batched engine and the adaptive
+    grid each add a discriminating token, and the adaptive tag includes
+    the LTE tolerance because it changes the produced waveforms.
+    """
+    tag = []
+    if engine != "scalar":
+        tag.append("engine={}".format(engine))
+    if adaptive:
+        tag.append("grid=adaptive")
+        if lte_tol is not None:
+            tag.append("lte_tol={!r}".format(float(lte_tol)))
+    return tuple(tag)
+
+
 class CampaignRun:
     """Outcome of one :meth:`Runtime.run` call."""
 

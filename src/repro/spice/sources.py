@@ -160,6 +160,32 @@ class Pwl(Stimulus):
         return "Pwl({} points)".format(len(self.times))
 
 
+def collect_breakpoints(stimuli, tstop, min_gap=None):
+    """Merged, deduplicated stimulus corner times in ``(0, tstop)``.
+
+    The adaptive transient engine lands a step on every breakpoint so
+    that sharp waveform corners (pulse edges, PWL knots) never fall
+    inside an integration step — the trapezoidal rule assumes the
+    stimulus is smooth within a step.  Corners closer together than
+    ``min_gap`` (default ``1e-6 * tstop``) are merged into one landing
+    point; 0 and ``tstop`` are omitted because the engine starts and
+    stops there anyway.
+    """
+    if min_gap is None:
+        min_gap = 1e-6 * tstop
+    points = []
+    for stimulus in stimuli:
+        points.extend(stimulus.breakpoints(tstop))
+    merged = []
+    for point in sorted(points):
+        if point <= min_gap or point >= tstop - min_gap:
+            continue
+        if merged and point - merged[-1] <= min_gap:
+            continue
+        merged.append(float(point))
+    return merged
+
+
 def make_stimulus(value):
     """Coerce ``value`` into a :class:`Stimulus`.
 

@@ -185,10 +185,35 @@ class Waveform:
         return float(np.abs(v - baseline).max())
 
     def window(self, t_start, t_end):
-        """Sub-waveform restricted to ``[t_start, t_end]``."""
-        mask = np.logical_and(self.t >= t_start, self.t <= t_end)
-        return Waveform(self.t[mask],
-                        {k: v[mask] for k, v in self.signals.items()})
+        """Sub-waveform restricted to ``[t_start, t_end]``.
+
+        Boundary samples are linearly interpolated in, so a pulse
+        interval straddling ``t_start`` or ``t_end`` keeps its portion
+        inside the window instead of snapping to the nearest recorded
+        sample (which mis-measured clipped pulses by up to one step).
+        Windows that miss the recorded span entirely yield an empty
+        waveform.
+        """
+        if t_end < t_start:
+            raise MeasurementError("window end precedes start")
+        lo = max(float(t_start), float(self.t[0]))
+        hi = min(float(t_end), float(self.t[-1]))
+        if lo > hi:
+            empty = np.empty(0)
+            return Waveform(empty, {k: np.empty(0) for k in self.signals})
+        if lo == hi:
+            return Waveform(np.array([lo]),
+                            {k: np.array([np.interp(lo, self.t, v)])
+                             for k, v in self.signals.items()})
+        interior = np.logical_and(self.t > lo, self.t < hi)
+        new_t = np.concatenate(([lo], self.t[interior], [hi]))
+        signals = {
+            k: np.concatenate(([np.interp(lo, self.t, v)],
+                               v[interior],
+                               [np.interp(hi, self.t, v)]))
+            for k, v in self.signals.items()
+        }
+        return Waveform(new_t, signals)
 
     def __repr__(self):
         return "Waveform({} points, nodes={})".format(

@@ -90,23 +90,56 @@ class TestDelayCoverage:
 
 class TestCoverageCurve:
     def test_minimum_detectable_r(self):
-        curve = CoverageCurve("x", [1e3, 2e3, 4e3], [0.0, 0.5, 1.0], 4)
+        curve = CoverageCurve("x", [1e3, 2e3, 4e3], [0, 2, 4], 4)
         assert curve.minimum_detectable_r() == 4e3
         assert curve.minimum_detectable_r(target=0.5) == 2e3
 
     def test_minimum_detectable_r_none(self):
-        curve = CoverageCurve("x", [1e3], [0.5], 4)
+        curve = CoverageCurve("x", [1e3], [2], 4)
         assert curve.minimum_detectable_r() is None
 
     def test_confidence_intervals_bracket_coverage(self):
-        curve = CoverageCurve("x", [1e3, 2e3], [0.25, 1.0], 4)
+        curve = CoverageCurve("x", [1e3, 2e3], [1, 4], 4)
         for (lo, hi), c in zip(curve.confidence_intervals(),
                                curve.coverage):
             assert lo <= c <= hi
 
+    def test_coverage_derived_from_hits(self):
+        curve = CoverageCurve("x", [1e3, 2e3], [1, 3], 4)
+        assert curve.hits == [1, 3]
+        assert curve.coverage == [0.25, 0.75]
+
+    def test_confidence_intervals_use_exact_hit_counts(self):
+        """The intervals must come from the stored integer counts, not
+        a reconstruction from the float ratio (round(0.375*4) banker's-
+        rounds to 2, silently shifting the interval)."""
+        from repro.montecarlo import wilson_interval
+
+        curve = CoverageCurve("x", [1e3], [3], 8)
+        assert curve.confidence_intervals() == [wilson_interval(3, 8)]
+
+    def test_rejects_fractional_hit_counts(self):
+        """Regression: the old float-ratio constructor silently accepted
+        coverage values that correspond to no integer hit count; now
+        they are an error at construction time."""
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3], [1.5], 4)
+
+    def test_rejects_out_of_range_hits(self):
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3], [5], 4)
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3], [-1], 4)
+
+    def test_accepts_integral_floats(self):
+        """Whole-number floats (e.g. from JSON round-trips) coerce."""
+        curve = CoverageCurve("x", [1e3], [2.0], 4)
+        assert curve.hits == [2]
+        assert curve.coverage == [0.5]
+
     def test_monotonicity_helper(self):
-        up = CoverageCurve("x", [1, 2, 3], [0.0, 0.5, 1.0], 4)
-        down = CoverageCurve("x", [1, 2, 3], [1.0, 0.5, 0.0], 4)
+        up = CoverageCurve("x", [1, 2, 3], [0, 2, 4], 4)
+        down = CoverageCurve("x", [1, 2, 3], [4, 2, 0], 4)
         assert detected_fraction_is_monotonic(up)
         assert not detected_fraction_is_monotonic(down)
 

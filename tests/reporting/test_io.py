@@ -50,7 +50,7 @@ class TestTransferCsv:
 class TestCoverageJson:
     def make_result(self):
         curves = {
-            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0.0, 1.0], 8),
+            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0, 8], 8),
         }
         return CoverageResult([1e3, 2e3], curves, raw=None)
 

@@ -33,8 +33,8 @@ class TestFormatSeries:
 class TestCoverageTable:
     def test_one_row_per_resistance(self):
         curves = {
-            "0.9*T": CoverageCurve("0.9*T", [1e3, 2e3], [0.0, 1.0], 4),
-            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0.0, 0.5], 4),
+            "0.9*T": CoverageCurve("0.9*T", [1e3, 2e3], [0, 4], 4),
+            "1.0*T": CoverageCurve("1.0*T", [1e3, 2e3], [0, 2], 4),
         }
         result = CoverageResult([1e3, 2e3], curves, raw=None)
         out = coverage_table(result)

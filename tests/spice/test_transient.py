@@ -104,6 +104,44 @@ class TestArguments:
             run_transient(rc_circuit(), 1e-7, 1e-9, x0=np.zeros(99))
 
 
+class TestStepCountCoversTstop:
+    """Regression: ``int(round(tstop / dt))`` clipped the grid short of
+    ``tstop`` for non-commensurate ratios (tstop/dt = 100.4 rounded to
+    100 steps, losing the last 4 ns of a 1.004 us window — and with it
+    the tail of any output pulse)."""
+
+    def test_scalar_grid_reaches_tstop(self):
+        tstop, dt = 1.004e-6, 1e-8
+        wf = run_transient(rc_circuit(), tstop, dt)
+        assert wf.t[-1] >= tstop * (1 - 1e-12)
+
+    def test_batch_grid_reaches_tstop(self):
+        from repro.spice import run_transient_batch
+
+        tstop, dt = 1.004e-6, 1e-8
+        wfs = run_transient_batch([rc_circuit()], tstop, dt)
+        assert wfs[0].t[-1] >= tstop * (1 - 1e-12)
+
+    def test_commensurate_grid_unchanged(self):
+        """Exact-integer ratios keep the historical grid (no extra
+        step from ceiling float dust)."""
+        wf = run_transient(rc_circuit(), 1e-6, 1e-8)
+        assert len(wf.t) == 101
+        assert wf.t[-1] == pytest.approx(1e-6, rel=1e-12)
+
+    def test_tail_pulse_not_clipped(self):
+        """A pulse ending right at tstop keeps its falling edge."""
+        c = Circuit()
+        c.add_vsource("V1", "in", "0",
+                      Pulse(0.0, 1.0, delay=0.4e-6, rise=1e-9,
+                            width=0.55e-6, fall=1e-9))
+        c.add_resistor("R1", "in", "out", 1.0)
+        c.add_capacitor("C1", "out", "0", 1e-15)
+        wf = run_transient(c, 1.004e-6, 1e-8)
+        # the grid must still see the ~0.96us falling edge region
+        assert wf.value_at("in", 1.004e-6) < 1.0
+
+
 class TestInverterTransient:
     @pytest.fixture()
     def inverter(self):

@@ -148,3 +148,109 @@ class TestWindow:
         t = np.array([0.0, 1.0])
         wf = Waveform(t, {"x": np.array([0.0, 2.0])})
         assert wf.value_at("x", 0.25) == pytest.approx(0.5)
+
+    def test_boundary_samples_interpolated_in(self):
+        """Regression: samples straddling the window edge used to be
+        dropped, mis-measuring any pulse crossing the boundary.  Here
+        the 0.5-crossings sit at t=4.0 and t=7.0; a window starting at
+        4.1 must keep the clipped pulse width 2.9, not snap to the
+        first interior sample (2.8)."""
+        t = np.array([0.0, 2.0, 3.8, 4.2, 6.0, 8.0, 10.0])
+        v = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0])
+        wf = Waveform(t, {"x": v})
+        sub = wf.window(4.1, 10.0)
+        assert sub.t[0] == pytest.approx(4.1)
+        assert sub["x"][0] == pytest.approx(0.75)
+        assert sub.widest_pulse("x", 0.5) == pytest.approx(2.9)
+
+    def test_window_edges_become_grid_points(self):
+        wf = make_pulse_wave()
+        sub = wf.window(4.05, 6.35)
+        assert sub.t[0] == pytest.approx(4.05)
+        assert sub.t[-1] == pytest.approx(6.35)
+
+    def test_window_inside_one_step(self):
+        """A window narrower than one sample interval still yields the
+        two interpolated edge points."""
+        t = np.array([0.0, 1.0])
+        wf = Waveform(t, {"x": np.array([0.0, 2.0])})
+        sub = wf.window(0.25, 0.75)
+        assert list(sub.t) == [0.25, 0.75]
+        assert sub["x"][0] == pytest.approx(0.5)
+        assert sub["x"][1] == pytest.approx(1.5)
+
+    def test_disjoint_window_is_empty(self):
+        wf = make_pulse_wave()
+        sub = wf.window(20.0, 30.0)
+        assert len(sub.t) == 0
+
+    def test_degenerate_window_single_point(self):
+        wf = make_pulse_wave()
+        sub = wf.window(5.0, 5.0)
+        assert len(sub.t) == 1
+        assert sub["x"][0] == pytest.approx(wf.value_at("x", 5.0))
+
+    def test_inverted_window_rejected(self):
+        wf = make_pulse_wave()
+        with pytest.raises(MeasurementError):
+            wf.window(6.0, 4.0)
+
+
+class TestDegenerateMeasurements:
+    """Waveforms at the edge of measurability: exact level touches,
+    window-clipped pulses, single-sample plateaus, always-active
+    signals."""
+
+    def test_signal_exactly_touching_level_is_no_pulse(self):
+        """v == level is not an excursion *past* the level (strict
+        comparison): a signal that just touches must not report a
+        pulse."""
+        t = np.linspace(0.0, 4.0, 5)
+        v = np.array([0.0, 0.25, 0.5, 0.25, 0.0])
+        wf = Waveform(t, {"x": v})
+        assert wf.pulse_intervals("x", 0.5) == []
+        assert wf.widest_pulse("x", 0.5) == 0.0
+
+    def test_plateau_exactly_at_level_is_no_pulse(self):
+        t = np.linspace(0.0, 4.0, 5)
+        v = np.array([0.0, 0.5, 0.5, 0.5, 0.0])
+        wf = Waveform(t, {"x": v})
+        assert wf.widest_pulse("x", 0.5) == 0.0
+
+    def test_single_sample_plateau(self):
+        """One sample above the level still yields a (short) pulse with
+        interpolated edges."""
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([0.0, 1.0, 0.0])
+        wf = Waveform(t, {"x": v})
+        intervals = wf.pulse_intervals("x", 0.5)
+        assert len(intervals) == 1
+        start, end = intervals[0]
+        assert start == pytest.approx(0.5)
+        assert end == pytest.approx(1.5)
+
+    def test_active_at_both_window_edges(self):
+        """A signal above the level at t[0] and t[-1] clips both
+        interval ends to the window edges."""
+        t = np.linspace(0.0, 10.0, 11)
+        v = np.ones_like(t)
+        v[4:7] = 0.0
+        wf = Waveform(t, {"x": v})
+        intervals = wf.pulse_intervals("x", 0.5)
+        assert len(intervals) == 2
+        assert intervals[0][0] == pytest.approx(0.0)
+        assert intervals[1][1] == pytest.approx(10.0)
+
+    def test_always_active_is_one_full_window_interval(self):
+        t = np.linspace(0.0, 10.0, 11)
+        wf = Waveform(t, {"x": np.ones_like(t)})
+        assert wf.pulse_intervals("x", 0.5) == [(0.0, 10.0)]
+
+    def test_clipped_pulse_after_windowing(self):
+        """Windowing into the middle of a pulse keeps the boundary
+        crossing: the clipped width is measured from the window edge."""
+        wf = make_pulse_wave(width=2.0, start=3.0)
+        # 0.5-crossings at ~3.25 and ~5.25; cut in at 4.0
+        sub = wf.window(4.0, 10.0)
+        assert sub.widest_pulse("x", 0.5) == pytest.approx(1.25,
+                                                           abs=0.02)
