@@ -50,6 +50,8 @@ def _cmd_coverage(args):
     if args.lte_tol is not None:
         config.adaptive = True
         config.lte_tol = args.lte_tol
+    if args.trace:
+        config.trace = args.trace
     if args.fault == "open":
         experiment = run_open_coverage(config)
     else:
@@ -129,7 +131,8 @@ def _cmd_campaign(args):
     runtime = Runtime.from_env(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
-        timeout=args.task_timeout)
+        timeout=args.task_timeout,
+        trace=args.trace)
     calibration = DefectCalibration.from_electrical(
         "external", [1e3, 4e3, 12e3, 40e3],
         dt=5e-12 if args.fast else 3e-12, runtime=runtime)
@@ -229,6 +232,9 @@ def build_parser():
     p.add_argument("--lte-tol", type=float, default=None,
                    help="adaptive per-step error tolerance in volts "
                         "(implies --adaptive; default: engine default)")
+    p.add_argument("--trace", default=None,
+                   help="append one JSONL event per executed task to "
+                        "this file (default: REPRO_TRACE or off)")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("transfer",
@@ -274,6 +280,9 @@ def build_parser():
                    help="per-site wall-clock budget in seconds")
     p.add_argument("--report-json", default=None,
                    help="write the run report to this JSON file")
+    p.add_argument("--trace", default=None,
+                   help="append one JSONL event per executed task to "
+                        "this file (default: REPRO_TRACE or off)")
     p.set_defaults(func=_cmd_campaign)
     return parser
 

@@ -37,13 +37,15 @@ class ExperimentConfig:
     switches both engines to the LTE-controlled time grid
     (``REPRO_ADAPTIVE=1``) with per-step tolerance ``lte_tol``
     (``REPRO_LTE_TOL``, volts; None uses the engine default).
+    ``trace`` names a JSONL file receiving one event per executed task
+    (``REPRO_TRACE``; None disables tracing).
     """
 
     def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
                  rop_resistances=None, bridging_resistances=None,
                  n_paths=10, n_jobs=None, cache_dir=None,
                  engine="scalar", batch_size=None, adaptive=False,
-                 lte_tol=None):
+                 lte_tol=None, trace=None):
         self.n_samples = int(n_samples)
         self.dt = float(dt)
         self.seed = int(seed)
@@ -63,6 +65,7 @@ class ExperimentConfig:
         self.batch_size = None if batch_size is None else int(batch_size)
         self.adaptive = bool(adaptive)
         self.lte_tol = None if lte_tol is None else float(lte_tol)
+        self.trace = None if trace is None else str(trace)
 
     @classmethod
     def from_env(cls, **overrides):
@@ -92,6 +95,8 @@ class ExperimentConfig:
         if os.environ.get("REPRO_LTE_TOL"):
             overrides.setdefault("lte_tol",
                                  float(os.environ["REPRO_LTE_TOL"]))
+        if os.environ.get("REPRO_TRACE"):
+            overrides.setdefault("trace", os.environ["REPRO_TRACE"])
         return cls(**overrides)
 
     def samples(self):

@@ -13,7 +13,10 @@ from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
 from .hashing import canonical_token, stable_hash
 from .runner import (DEFAULT_BATCH_SIZE, DEFAULT_CACHE_DIR,
                      CampaignRun, Runtime, engine_cache_tag)
+from .stats import (SolverStats, StatsView, current_stats, record,
+                    root_stats, stats_scope)
 from .telemetry import RunReport
+from .trace import TraceWriter, read_trace
 
 __all__ = [
     "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
@@ -22,4 +25,6 @@ __all__ = [
     "WorkerError", "TaskTimeout", "default_n_jobs",
     "ResultCache", "CacheMiss", "CampaignCheckpoint",
     "stable_hash", "canonical_token",
+    "SolverStats", "StatsView", "stats_scope", "current_stats",
+    "root_stats", "record", "TraceWriter", "read_trace",
 ]

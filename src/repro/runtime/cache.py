@@ -15,28 +15,48 @@ campaign never leaves a truncated entry behind.
 """
 
 import json
+import math
 import os
 import tempfile
 
 import numpy as np
 
 _ARRAY_TAG = "__ndarray__"
+_FLOAT_TAG = "__float__"
+
+
+def _encode_float(value):
+    """A float as strict JSON.
+
+    ``json.dump`` emits bare ``NaN``/``Infinity`` tokens for non-finite
+    floats — JavaScript, not JSON, and rejected by strict parsers.  A
+    dampened pulse legitimately measures a NaN width, so non-finite
+    values are first-class here: they round-trip via a tagged dict.
+    """
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return {_FLOAT_TAG: "nan"}
+    return {_FLOAT_TAG: "inf" if value > 0 else "-inf"}
 
 
 def _encode(value):
-    """Lower ``value`` to a JSON-serialisable structure."""
+    """Lower ``value`` to a strict-JSON-serialisable structure."""
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):
-        return value
+        return _encode_float(value)
     if isinstance(value, (np.floating,)):
-        return float(value)
+        return _encode_float(float(value))
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, np.ndarray):
-        return {_ARRAY_TAG: value.tolist(), "dtype": str(value.dtype)}
+        # tolist() yields plain floats, so _encode tags any non-finite
+        # entries; _decode re-assembles the array from the decoded list.
+        return {_ARRAY_TAG: _encode(value.tolist()),
+                "dtype": str(value.dtype)}
     if isinstance(value, (list, tuple)):
         return [_encode(v) for v in value]
     if isinstance(value, dict):
@@ -53,12 +73,20 @@ def _encode(value):
 
 def _decode(value):
     if isinstance(value, dict):
+        if _FLOAT_TAG in value:
+            return float(value[_FLOAT_TAG])
         if _ARRAY_TAG in value:
-            return np.asarray(value[_ARRAY_TAG], dtype=value.get("dtype"))
+            return np.asarray(_decode(value[_ARRAY_TAG]),
+                              dtype=value.get("dtype"))
         return {k: _decode(v) for k, v in value.items()}
     if isinstance(value, list):
         return [_decode(v) for v in value]
     return value
+
+
+#: public aliases for other strict-JSON writers (the trace sink)
+encode_jsonable = _encode
+decode_jsonable = _decode
 
 
 def _is_npz_value(value):
@@ -117,8 +145,11 @@ class ResultCache:
                                binary=True)
         else:
             encoded = _encode(value)
+            # allow_nan=False backstops the encoder: a bare NaN token
+            # can never reach disk.
             self._atomic_write(
-                json_path, lambda h: json.dump(encoded, h))
+                json_path,
+                lambda h: json.dump(encoded, h, allow_nan=False))
         return key
 
     def _atomic_write(self, path, writer, binary=False):

@@ -48,8 +48,19 @@ class CampaignCheckpoint:
         self.completed.update(manifest.get("completed", []))
         return set(self.completed)
 
+    @property
+    def pending_marks(self):
+        """Marks recorded since the last flush (0 = manifest current)."""
+        return self._dirty
+
     def mark_done(self, task_key):
-        """Record one completed task; flushes every ``every`` marks."""
+        """Record one completed task; flushes every ``every`` marks.
+
+        Periodic flushing alone lets the manifest trail the result
+        cache by up to ``every - 1`` entries; the runner closes that
+        gap by calling :meth:`flush` on every exit path (clean finish
+        and exception unwind alike).
+        """
         if task_key in self.completed:
             return
         self.completed.add(task_key)

@@ -17,6 +17,8 @@ import multiprocessing
 import os
 import time
 
+from .stats import stats_scope
+
 
 class _FailedSentinel:
     """Marks a sample slot whose evaluation failed (vs. a legitimate
@@ -64,15 +66,24 @@ class TaskTimeout(WorkerError):
 
 
 class TaskOutcome:
-    """Result record for one task (picklable)."""
+    """Result record for one task (picklable).
+
+    ``stats`` is the full solver-effort snapshot of the task's
+    instrumentation scope (see :mod:`repro.runtime.stats`): Newton
+    solves/iterations, adaptive accepted/rejected steps, ladder
+    retries, per-phase timings and — for chunk tasks of the batched
+    engine — a per-sample attribution table.  It is recorded in the
+    worker and travels back across the process boundary with the
+    result, so parallel campaigns report the same counters as serial
+    ones.
+    """
 
     __slots__ = ("index", "value", "error_type", "error_message",
-                 "duration", "retries", "timed_out", "newton_solves",
-                 "newton_iterations")
+                 "duration", "retries", "timed_out", "stats")
 
     def __init__(self, index, value=None, error_type=None,
                  error_message=None, duration=0.0, retries=0,
-                 timed_out=False, newton_solves=0, newton_iterations=0):
+                 timed_out=False, stats=None):
         self.index = index
         self.value = value
         self.error_type = error_type
@@ -80,8 +91,20 @@ class TaskOutcome:
         self.duration = duration
         self.retries = retries
         self.timed_out = timed_out
-        self.newton_solves = newton_solves
-        self.newton_iterations = newton_iterations
+        self.stats = stats
+
+    def _counter(self, name):
+        if not self.stats:
+            return 0
+        return self.stats.get("counters", {}).get(name, 0)
+
+    @property
+    def newton_solves(self):
+        return self._counter("newton_solves")
+
+    @property
+    def newton_iterations(self):
+        return self._counter("newton_iterations")
 
     @property
     def ok(self):
@@ -102,25 +125,27 @@ class TaskOutcome:
 
 
 def _execute_one(fn, payload, index):
-    """Run one task, recording duration and Newton-solver effort."""
-    from ..spice.mna import NEWTON_STATS
+    """Run one task inside its own instrumentation scope.
 
-    solves0 = NEWTON_STATS["solves"]
-    iters0 = NEWTON_STATS["iterations"]
+    The scope isolates this task's solver effort from everything else
+    in the process (no global diffing, so concurrent tasks cannot
+    clobber each other's counters); the snapshot rides back on the
+    outcome and the scope's totals still fold into the process root for
+    the deprecated global views.
+    """
     start = time.perf_counter()
-    try:
-        value = fn(payload)
-    except Exception as exc:  # noqa: BLE001 - taxonomy reported to caller
-        return TaskOutcome(
-            index, error_type=type(exc).__name__,
-            error_message=str(exc),
-            duration=time.perf_counter() - start,
-            newton_solves=NEWTON_STATS["solves"] - solves0,
-            newton_iterations=NEWTON_STATS["iterations"] - iters0)
+    with stats_scope() as stats:
+        try:
+            value = fn(payload)
+        except Exception as exc:  # noqa: BLE001 - taxonomy to caller
+            return TaskOutcome(
+                index, error_type=type(exc).__name__,
+                error_message=str(exc),
+                duration=time.perf_counter() - start,
+                stats=stats.snapshot())
     return TaskOutcome(
         index, value=value, duration=time.perf_counter() - start,
-        newton_solves=NEWTON_STATS["solves"] - solves0,
-        newton_iterations=NEWTON_STATS["iterations"] - iters0)
+        stats=stats.snapshot())
 
 
 def _execute_chunk(fn, payloads, indices):

@@ -23,6 +23,7 @@ from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
                         default_n_jobs)
 from .hashing import stable_hash
 from .telemetry import RunReport
+from .trace import TraceWriter
 
 #: default on-disk cache location (overridden by ``REPRO_CACHE_DIR``)
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -89,25 +90,34 @@ class Runtime:
         result caching and checkpointing.
     checkpoint_every:
         Completed tasks between manifest writes.
+    trace:
+        A :class:`~repro.runtime.trace.TraceWriter` (or path string) to
+        append one JSONL event per executed task, or None (default) to
+        disable tracing.
     """
 
-    def __init__(self, executor=None, cache=None, checkpoint_every=8):
+    def __init__(self, executor=None, cache=None, checkpoint_every=8,
+                 trace=None):
         self.executor = SerialExecutor() if executor is None else executor
         if isinstance(cache, str):
             cache = ResultCache(cache)
         self.cache = cache
         self.checkpoint_every = checkpoint_every
+        if isinstance(trace, str):
+            trace = TraceWriter(trace)
+        self.trace = trace
 
     # ------------------------------------------------------------------
 
     @classmethod
     def from_env(cls, jobs=None, cache_dir=None, timeout=None, retries=1,
-                 checkpoint_every=8):
+                 checkpoint_every=8, trace=None):
         """Build a runtime from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``.
 
         ``jobs=None`` reads ``REPRO_JOBS`` (unset: serial); ``jobs=0``
         means "all CPUs".  ``cache_dir=None`` reads ``REPRO_CACHE_DIR``
-        (unset: caching disabled).
+        (unset: caching disabled).  ``trace=None`` reads ``REPRO_TRACE``
+        (unset: tracing disabled).
         """
         if jobs is None:
             env = os.environ.get("REPRO_JOBS")
@@ -121,18 +131,81 @@ class Runtime:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR")
         cache = ResultCache(cache_dir) if cache_dir else None
+        if trace is None:
+            trace = os.environ.get("REPRO_TRACE") or None
         return cls(executor=executor, cache=cache,
-                   checkpoint_every=checkpoint_every)
+                   checkpoint_every=checkpoint_every, trace=trace)
 
     @classmethod
     def from_config(cls, config):
         """Runtime described by an ``ExperimentConfig``-like object."""
         return cls.from_env(jobs=getattr(config, "n_jobs", None),
-                            cache_dir=getattr(config, "cache_dir", None))
+                            cache_dir=getattr(config, "cache_dir", None),
+                            trace=getattr(config, "trace", None))
 
     @property
     def parallel(self):
         return getattr(self.executor, "n_jobs", 1) > 1
+
+    # ------------------------------------------------------------------
+    # Trace sink
+    # ------------------------------------------------------------------
+
+    def _trace_task(self, label, index, key, outcome, **extra):
+        """Emit one ``task`` event for an executed (non-cached) task."""
+        if self.trace is None:
+            return
+        event = {
+            "event": "task",
+            "label": label,
+            "index": index,
+            "key": key,
+            "ok": outcome.ok,
+            "error": outcome.error_type,
+            "duration_s": outcome.duration,
+            "retries": outcome.retries,
+            "stats": outcome.stats,
+        }
+        event.update(extra)
+        self.trace.emit(event)
+
+    def _trace_chunk(self, label, chunk, keys, outcome):
+        """Emit one ``task`` event per *item* of a batched chunk.
+
+        Each item carries its own slice of the chunk's effort: the
+        per-sample attribution recorded by the lockstep engine (rows in
+        the chunk's stats snapshot) and an equal share of the chunk's
+        wall time.
+        """
+        if self.trace is None:
+            return
+        samples = (outcome.stats or {}).get("samples") or {}
+        shared = dict(outcome.stats or {})
+        shared.pop("samples", None)
+        share = outcome.duration / max(1, len(chunk))
+        for position, index in enumerate(chunk):
+            per_item = samples.get(position)
+            self.trace.emit({
+                "event": "task",
+                "label": label,
+                "index": index,
+                "key": keys[index] if keys is not None else None,
+                "ok": outcome.ok,
+                "error": outcome.error_type,
+                "duration_s": share,
+                "retries": outcome.retries,
+                "stats": ({"counters": per_item} if per_item is not None
+                          else None),
+                "chunk": outcome.index,
+                "chunk_size": len(chunk),
+                "chunk_stats": shared if position == 0 else None,
+            })
+
+    def _trace_report(self, report):
+        if self.trace is None:
+            return
+        self.trace.emit({"event": "report", "label": report.label,
+                         "summary": report.summary()})
 
     # ------------------------------------------------------------------
 
@@ -194,21 +267,32 @@ class Runtime:
             if outcome.ok and self.cache is not None and keys is not None:
                 self.cache.put(keys[index], outcome.value)
                 checkpoint.mark_done(keys[index])
+            self._trace_task(label, index,
+                             keys[index] if keys is not None else None,
+                             outcome)
             settle()
 
-        if pending:
-            outcomes = self.executor.map_tasks(
-                fn, [payloads[i] for i in pending], on_result=on_result)
-            for outcome in outcomes:
-                index = pending[outcome.index]
-                report.record_outcome(outcome)
-                if outcome.ok:
-                    values[index] = outcome.value
-                else:
-                    errors[index] = outcome.error()
-        if checkpoint is not None:
-            checkpoint.flush()
-        report.finish()
+        # The manifest must always flush — a clean finish may hold up to
+        # ``checkpoint_every - 1`` unflushed marks, and an exception
+        # escaping the dispatch (cache write failure, KeyboardInterrupt)
+        # must not lose the progress already made.
+        try:
+            if pending:
+                outcomes = self.executor.map_tasks(
+                    fn, [payloads[i] for i in pending],
+                    on_result=on_result)
+                for outcome in outcomes:
+                    index = pending[outcome.index]
+                    report.record_outcome(outcome)
+                    if outcome.ok:
+                        values[index] = outcome.value
+                    else:
+                        errors[index] = outcome.error()
+        finally:
+            if checkpoint is not None:
+                checkpoint.flush()
+            report.finish()
+        self._trace_report(report)
         return CampaignRun(values, errors, report)
 
     def run_batched(self, fn, payloads, keys=None, batch_size=None,
@@ -268,23 +352,30 @@ class Runtime:
                 for index, value in zip(chunk, unpacked):
                     self.cache.put(keys[index], value)
                     checkpoint.mark_done(keys[index])
+            self._trace_chunk(label, chunk, keys, outcome)
             settle(len(chunk))
 
-        if chunks:
-            outcomes = self.executor.map_tasks(
-                fn, [[payloads[i] for i in chunk] for chunk in chunks],
-                on_result=on_result)
-            for outcome in outcomes:
-                chunk = chunks[outcome.index]
-                report.record_outcome(outcome)
-                unpacked = unpack(outcome)
-                if isinstance(unpacked, list):
-                    for index, value in zip(chunk, unpacked):
-                        values[index] = value
-                else:
-                    for index in chunk:
-                        errors[index] = unpacked
-        if checkpoint is not None:
-            checkpoint.flush()
-        report.finish()
+        try:
+            if chunks:
+                outcomes = self.executor.map_tasks(
+                    fn, [[payloads[i] for i in chunk] for chunk in chunks],
+                    on_result=on_result)
+                for outcome in outcomes:
+                    chunk = chunks[outcome.index]
+                    # A chunk is an executor artifact, not a campaign
+                    # unit: book its effort per item so batched and
+                    # scalar campaigns report comparable task counts.
+                    report.record_outcome(outcome, n_items=len(chunk))
+                    unpacked = unpack(outcome)
+                    if isinstance(unpacked, list):
+                        for index, value in zip(chunk, unpacked):
+                            values[index] = value
+                    else:
+                        for index in chunk:
+                            errors[index] = unpacked
+        finally:
+            if checkpoint is not None:
+                checkpoint.flush()
+            report.finish()
+        self._trace_report(report)
         return CampaignRun(values, errors, report)

@@ -2,14 +2,34 @@
 
 Every campaign produces a :class:`RunReport` — the observable record of
 what the runtime did: how many tasks ran vs. came from the cache, how
-long each took, how much Newton effort the electrical solver spent, and
-which exception classes failures fell into.  The report serialises to
+long each took, how much solver effort each burned (Newton solves and
+iterations, adaptive accepted/rejected steps, gmin-ladder retries,
+per-phase timings) and which exception classes failures fell into.
+Solver counters arrive as context-scoped snapshots on each
+:class:`~repro.runtime.executors.TaskOutcome` (recorded in the worker,
+shipped across the process boundary), so serial and process-pool runs
+of the same campaign report identical totals.  The report serialises to
 JSON so benchmark harnesses and CI can track the numbers across PRs.
 """
 
 import json
 import time
 from collections import Counter
+
+from .stats import SolverStats
+
+
+def _median(sorted_values):
+    """True median of an ascending list (mean of the middle pair when
+    the length is even — ``values[n // 2]`` alone is the *upper* middle
+    element and overstates the typical task on even-length runs)."""
+    n = len(sorted_values)
+    if n == 0:
+        return None
+    mid = n // 2
+    if n % 2:
+        return sorted_values[mid]
+    return 0.5 * (sorted_values[mid - 1] + sorted_values[mid])
 
 
 class RunReport:
@@ -24,10 +44,11 @@ class RunReport:
         self.timeouts = 0
         self.retries = 0
         self.resumed = 0
-        #: per-executed-task wall-clock durations (seconds)
+        #: per-executed-task wall-clock durations (seconds); batched
+        #: chunks contribute one entry per *item* (chunk time / items)
         self.durations = []
-        self.newton_solves = 0
-        self.newton_iterations = 0
+        #: aggregated solver effort across every executed task
+        self.solver = SolverStats()
         #: ``{exception class name: count}``
         self.failure_taxonomy = Counter()
         self._t_start = None
@@ -55,20 +76,29 @@ class RunReport:
         if resumed:
             self.resumed += 1
 
-    def record_outcome(self, outcome):
-        """Fold one executor :class:`TaskOutcome` into the counters."""
-        self.cache_misses += 1
-        self.durations.append(outcome.duration)
+    def record_outcome(self, outcome, n_items=1):
+        """Fold one executor :class:`TaskOutcome` into the counters.
+
+        ``n_items`` re-attributes a chunk task of the batched engine to
+        the items it packs together: task counts, failure taxonomy and
+        durations are booked per item (each item charged an equal share
+        of the chunk's wall time), while solver counters fold once from
+        the outcome's stats snapshot so totals stay exact.
+        """
+        n_items = max(1, int(n_items))
+        self.cache_misses += n_items
+        share = outcome.duration / n_items
+        self.durations.extend([share] * n_items)
         self.retries += outcome.retries
-        self.newton_solves += outcome.newton_solves
-        self.newton_iterations += outcome.newton_iterations
+        if outcome.stats:
+            self.solver.merge(outcome.stats)
         if outcome.ok:
-            self.completed += 1
+            self.completed += n_items
         else:
-            self.failed += 1
-            self.failure_taxonomy[outcome.error_type] += 1
+            self.failed += n_items
+            self.failure_taxonomy[outcome.error_type] += n_items
             if outcome.timed_out:
-                self.timeouts += 1
+                self.timeouts += n_items
 
     # ------------------------------------------------------------------
 
@@ -76,11 +106,40 @@ class RunReport:
     def n_tasks(self):
         return self.cache_hits + self.cache_misses
 
+    @property
+    def newton_solves(self):
+        return self.solver.total("newton_solves")
+
+    @property
+    def newton_iterations(self):
+        return self.solver.total("newton_iterations")
+
+    @property
+    def adaptive_runs(self):
+        return self.solver.total("adaptive_runs")
+
+    @property
+    def adaptive_accepted(self):
+        return self.solver.total("adaptive_accepted")
+
+    @property
+    def adaptive_rejected(self):
+        return self.solver.total("adaptive_rejected")
+
+    @property
+    def ladder_retries(self):
+        return self.solver.total("ladder_retries")
+
     def samples_per_second(self):
-        """Executed-task throughput over the campaign's wall clock."""
+        """Completed-task throughput over the campaign's wall clock.
+
+        Only tasks that produced a result count — failed and timed-out
+        tasks are reported separately (``failed``/``timeouts``), not
+        laundered into the throughput figure.
+        """
         if self.wall_time <= 0.0:
             return 0.0
-        return self.cache_misses / self.wall_time
+        return self.completed / self.wall_time
 
     def summary(self):
         durations = sorted(self.durations)
@@ -98,11 +157,15 @@ class RunReport:
             "wall_time_s": self.wall_time,
             "samples_per_second": self.samples_per_second(),
             "task_time_total_s": sum(durations),
-            "task_time_median_s": (
-                durations[len(durations) // 2] if durations else None),
+            "task_time_median_s": _median(durations),
             "task_time_max_s": durations[-1] if durations else None,
             "newton_solves": self.newton_solves,
             "newton_iterations": self.newton_iterations,
+            "adaptive_runs": self.adaptive_runs,
+            "adaptive_accepted": self.adaptive_accepted,
+            "adaptive_rejected": self.adaptive_rejected,
+            "ladder_retries": self.ladder_retries,
+            "solver_phase_s": dict(self.solver.phase_s),
             "failure_taxonomy": dict(self.failure_taxonomy),
         }
 
@@ -116,17 +179,29 @@ class RunReport:
         s = self.summary()
         lines = [
             "run report [{}]".format(self.label),
-            "  tasks: {} ({} executed, {} cache hits)".format(
-                s["n_tasks"], s["cache_misses"], s["cache_hits"]),
-            "  wall time: {:.2f}s ({:.2f} samples/s)".format(
+            "  tasks: {} ({} executed, {} cache hits, {} failed)".format(
+                s["n_tasks"], s["cache_misses"], s["cache_hits"],
+                s["failed"]),
+            "  wall time: {:.2f}s ({:.2f} completed samples/s)".format(
                 s["wall_time_s"], s["samples_per_second"]),
         ]
         if self.executor:
             lines.insert(1, "  executor: {}".format(self.executor))
         if self.newton_solves:
+            newton = "  newton: {} solves, {} iterations".format(
+                s["newton_solves"], s["newton_iterations"])
+            if self.ladder_retries:
+                newton += ", {} ladder retries".format(s["ladder_retries"])
+            lines.append(newton)
+        if self.adaptive_runs:
             lines.append(
-                "  newton: {} solves, {} iterations".format(
-                    s["newton_solves"], s["newton_iterations"]))
+                "  adaptive: {} accepted / {} rejected steps in {} runs"
+                .format(s["adaptive_accepted"], s["adaptive_rejected"],
+                        s["adaptive_runs"]))
+        if s["solver_phase_s"]:
+            lines.append("  solver phases: " + ", ".join(
+                "{} {:.2f}s".format(name, seconds)
+                for name, seconds in sorted(s["solver_phase_s"].items())))
         if self.failed:
             taxonomy = ", ".join(
                 "{}x{}".format(count, name)

@@ -1,0 +1,64 @@
+"""Opt-in JSONL trace sink for campaign runs.
+
+One line per event, appended as it happens, so a killed campaign still
+leaves a usable trace prefix behind.  The runner emits one ``task``
+event per *executed* task (cache hits are not re-executed and produce
+no event) carrying the cache key, wall duration and the full solver
+stats record, plus one ``report`` event per run with the aggregated
+summary.  Batched runs additionally emit one ``task`` event per chunk
+*item* with that item's per-sample attribution.
+
+Enable with ``Runtime(trace=path)``, the CLI ``--trace PATH`` flag or
+the ``REPRO_TRACE`` environment variable.  Lines are strict JSON
+(non-finite floats are encoded, never emitted as bare ``NaN`` tokens),
+so ``jq``/``pandas.read_json(lines=True)`` consume them directly.
+"""
+
+import json
+
+from .cache import encode_jsonable
+
+
+class TraceWriter:
+    """Append-only JSONL event writer."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+        self.n_events = 0
+
+    def emit(self, event):
+        """Append one event dict as a JSON line (flushed immediately)."""
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        line = json.dumps(encode_jsonable(event), sort_keys=True,
+                          allow_nan=False)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self.n_events += 1
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        return "TraceWriter({!r}, {} events)".format(self.path,
+                                                     self.n_events)
+
+
+def read_trace(path):
+    """Load a JSONL trace back into a list of event dicts (tests/tools)."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -22,10 +22,13 @@ implementation; the equivalence suite pins the batched waveforms to it
 within 1e-6 V.
 """
 
+import time as _time
+
 import numpy as np
 
+from ..runtime.stats import current_stats
 from .errors import ConvergenceError, NetlistError
-from .mna import NEWTON_STATS, CompiledCircuit
+from .mna import CompiledCircuit
 from .mosfet import evaluate_level1
 
 
@@ -328,7 +331,13 @@ def newton_solve_batch(batch, a_base, rhs_base, x0, sample_idx=None,
     if sample_idx is None:
         sample_idx = np.arange(m)
     sample_idx = np.asarray(sample_idx, dtype=int)
-    NEWTON_STATS["solves"] += m
+    stats = current_stats()
+    stats.count("newton_solves", m)
+    # Per-sample iteration ledger: a sample pays for every iteration it
+    # stays in the active set, so chunk effort can be re-attributed to
+    # the individual tasks the chunk packs together.
+    sample_iters = np.zeros(m, dtype=int)
+    start = _time.perf_counter()
     converged = np.zeros(m, dtype=bool)
     singular = np.zeros(m, dtype=bool)
     diag = np.arange(n_nodes)
@@ -336,7 +345,7 @@ def newton_solve_batch(batch, a_base, rhs_base, x0, sample_idx=None,
     for _iteration in range(max_iter):
         if active.size == 0:
             break
-        NEWTON_STATS["iterations"] += int(active.size)
+        sample_iters[active] += 1
         a = a_base[active].copy()
         rhs = rhs_base[active].copy()
         batch.stamp_mosfets(x[active], a, rhs,
@@ -368,6 +377,12 @@ def newton_solve_batch(batch, a_base, rhs_base, x0, sample_idx=None,
         done = np.logical_and(vstep <= vtol, ~singular[active])
         converged[active[done]] = True
         active = active[np.logical_and(~done, ~singular[active])]
+    stats.count("newton_iterations", int(sample_iters.sum()))
+    stats.add_phase("newton", _time.perf_counter() - start)
+    for j in range(m):
+        stats.count_sample(sample_idx[j], "newton_solves", 1)
+        stats.count_sample(sample_idx[j], "newton_iterations",
+                           int(sample_iters[j]))
     return x, converged
 
 
@@ -383,16 +398,21 @@ def gmin_ladder_batch(batch, a_base, rhs_base, x0, sample_idx, gmin,
     them back to population rows.
     """
     x = np.array(x0, dtype=float)
-    step_gmin = start_gmin
-    while step_gmin >= gmin * 0.999:
-        x_try, conv = newton_solve_batch(
-            batch, a_base, rhs_base, x, sample_idx=sample_idx,
-            gmin=step_gmin, time=time)
-        x[conv] = x_try[conv]
-        step_gmin *= 0.1
-    x_final, conv = newton_solve_batch(
-        batch, a_base, rhs_base, x, sample_idx=sample_idx, gmin=gmin,
-        time=time)
+    stats = current_stats()
+    # One ladder escalation per failing sample, matching the scalar
+    # engine's one gmin_continuation_solve call per sample-step.
+    stats.count("ladder_retries", int(x.shape[0]))
+    with stats.phase("ladder"):
+        step_gmin = start_gmin
+        while step_gmin >= gmin * 0.999:
+            x_try, conv = newton_solve_batch(
+                batch, a_base, rhs_base, x, sample_idx=sample_idx,
+                gmin=step_gmin, time=time)
+            x[conv] = x_try[conv]
+            step_gmin *= 0.1
+        x_final, conv = newton_solve_batch(
+            batch, a_base, rhs_base, x, sample_idx=sample_idx, gmin=gmin,
+            time=time)
     if not conv.all():
         raise ConvergenceError(
             "batched Newton failed to converge for {} of {} samples"

@@ -15,17 +15,22 @@ Ground is index ``-1`` and is handled by appending a pinned 0.0 entry when
 gathering voltages and by masking stamps that land on it.
 """
 
+import time as _time
+
 import numpy as np
 
+from ..runtime.stats import StatsView, current_stats
 from .elements import Capacitor, CurrentSource, Resistor, VoltageSource
 from .errors import ConvergenceError, NetlistError
 from .mosfet import Mosfet, evaluate_level1
 from .netlist import is_ground
 
-#: cumulative Newton-solver effort counters for this process.  Updated by
-#: :func:`newton_solve`; snapshotted per task by the campaign runtime's
-#: telemetry layer (workers report the delta back with each result).
-NEWTON_STATS = {"solves": 0, "iterations": 0}
+#: deprecated read-only view of the process-root solver counters.
+#: Newton effort is recorded through the context-scoped collector
+#: (:mod:`repro.runtime.stats`); this name survives for benchmarks that
+#: snapshot ``dict(NEWTON_STATS)`` around a workload.  Writes raise.
+NEWTON_STATS = StatsView({"solves": "newton_solves",
+                          "iterations": "newton_iterations"})
 
 
 class CompiledCircuit:
@@ -249,35 +254,45 @@ def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
     """
     x = np.array(x0, dtype=float)
     n_nodes = compiled.n_nodes
-    NEWTON_STATS["solves"] += 1
+    stats = current_stats()
+    stats.count("newton_solves")
+    iterations = 0
+    start = _time.perf_counter()
     last_step = None
-    for iteration in range(max_iter):
-        NEWTON_STATS["iterations"] += 1
-        a = a_base.copy()
-        rhs = rhs_base.copy()
-        compiled.stamp_mosfets(x, a, rhs, gmin=gmin)
-        # Diagonal gmin on node rows guards against floating nodes.
-        idx = np.arange(n_nodes)
-        a[idx, idx] += gmin
-        try:
-            x_new = np.linalg.solve(a, rhs)
-        except np.linalg.LinAlgError:
-            raise ConvergenceError(
-                "singular MNA matrix", iterations=iteration, time=time)
-        dx = x_new - x
-        # Limit voltage updates to keep the quadratic model honest.
-        vstep = np.abs(dx[:n_nodes]).max() if n_nodes else 0.0
-        if vstep > damping:
-            dx *= damping / vstep
-            last_step = damping
-        else:
-            last_step = vstep
-        x = x + dx
-        if vstep <= vtol:
-            return x
-    raise ConvergenceError(
-        "Newton failed to converge", iterations=max_iter,
-        residual=0.0 if last_step is None else float(last_step), time=time)
+    try:
+        for iteration in range(max_iter):
+            iterations += 1
+            a = a_base.copy()
+            rhs = rhs_base.copy()
+            compiled.stamp_mosfets(x, a, rhs, gmin=gmin)
+            # Diagonal gmin on node rows guards against floating nodes.
+            idx = np.arange(n_nodes)
+            a[idx, idx] += gmin
+            try:
+                x_new = np.linalg.solve(a, rhs)
+            except np.linalg.LinAlgError:
+                raise ConvergenceError(
+                    "singular MNA matrix", iterations=iteration, time=time)
+            dx = x_new - x
+            # Limit voltage updates to keep the quadratic model honest.
+            vstep = np.abs(dx[:n_nodes]).max() if n_nodes else 0.0
+            if vstep > damping:
+                dx *= damping / vstep
+                last_step = damping
+            else:
+                last_step = vstep
+            x = x + dx
+            if vstep <= vtol:
+                return x
+        raise ConvergenceError(
+            "Newton failed to converge", iterations=max_iter,
+            residual=0.0 if last_step is None else float(last_step),
+            time=time)
+    finally:
+        # Book iterations even on the failure path — diverging solves
+        # are exactly the effort test-time tuning needs to see.
+        stats.count("newton_iterations", iterations)
+        stats.add_phase("newton", _time.perf_counter() - start)
 
 
 def gmin_continuation_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
@@ -291,14 +306,18 @@ def gmin_continuation_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
     :class:`ConvergenceError` propagates.
     """
     x = np.array(x0, dtype=float)
-    step_gmin = start_gmin
-    while step_gmin >= gmin * 0.999:
-        try:
-            x = newton_solve(compiled, a_base, rhs_base, x,
-                             gmin=step_gmin, time=time)
-        except ConvergenceError:
-            # A failed rung keeps the previous iterate; the next (lighter
-            # or target) rung may still pull it in.
-            pass
-        step_gmin *= 0.1
-    return newton_solve(compiled, a_base, rhs_base, x, gmin=gmin, time=time)
+    stats = current_stats()
+    stats.count("ladder_retries")
+    with stats.phase("ladder"):
+        step_gmin = start_gmin
+        while step_gmin >= gmin * 0.999:
+            try:
+                x = newton_solve(compiled, a_base, rhs_base, x,
+                                 gmin=step_gmin, time=time)
+            except ConvergenceError:
+                # A failed rung keeps the previous iterate; the next
+                # (lighter or target) rung may still pull it in.
+                pass
+            step_gmin *= 0.1
+        return newton_solve(compiled, a_base, rhs_base, x, gmin=gmin,
+                            time=time)

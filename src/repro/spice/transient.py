@@ -23,6 +23,7 @@ while using materially fewer steps.
 
 import numpy as np
 
+from ..runtime.stats import StatsView, record
 from .batch import (BatchCompiledCircuit, gmin_ladder_batch,
                     newton_solve_batch, solve_dc_batch)
 from .errors import AnalysisError, ConvergenceError
@@ -45,10 +46,14 @@ MAX_STEP_GROWTH = 2.0
 #: target-error safety factor in the step-size controller
 STEP_SAFETY = 0.9
 
-#: cumulative adaptive-stepper effort counters for this process
-#: (mirrors :data:`repro.spice.mna.NEWTON_STATS`); benchmarks snapshot
-#: deltas around a workload to report accepted/rejected step counts.
-ADAPTIVE_STATS = {"runs": 0, "accepted": 0, "rejected": 0}
+#: deprecated read-only view of the process-root adaptive-stepper
+#: counters (mirrors :data:`repro.spice.mna.NEWTON_STATS`).  Effort is
+#: recorded through the context-scoped collector
+#: (:mod:`repro.runtime.stats`); benchmarks that snapshot deltas around
+#: a workload keep working, writes raise.
+ADAPTIVE_STATS = StatsView({"runs": "adaptive_runs",
+                            "accepted": "adaptive_accepted",
+                            "rejected": "adaptive_rejected"})
 
 
 def _fixed_step_count(tstop, dt):
@@ -159,7 +164,7 @@ class _StepController:
         (the caller must reset its predictor history across the
         discontinuity)."""
         self.accepted += 1
-        ADAPTIVE_STATS["accepted"] += 1
+        record("adaptive_accepted")
         landed = self._target is not None
         if landed:
             self.t = self._target
@@ -180,7 +185,7 @@ class _StepController:
         if h <= self.dt_min * (1.0 + 1e-9):
             return True
         self.rejected += 1
-        ADAPTIVE_STATS["rejected"] += 1
+        record("adaptive_rejected")
         self.h = max(h * 0.5, self.dt_min)
         return False
 
@@ -343,7 +348,7 @@ def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin):
     stimuli = [src.stimulus for src in compiled.vsources]
     stimuli += [src.stimulus for src in compiled.isources]
     controller.register_breakpoints(collect_breakpoints(stimuli, tstop))
-    ADAPTIVE_STATS["runs"] += 1
+    record("adaptive_runs")
 
     cap_p, cap_n = compiled.cap_p, compiled.cap_n
     mp, mq = cap_p >= 0, cap_n >= 0
@@ -566,7 +571,7 @@ def _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max, lte_tol,
     stimuli += [src.stimulus for sources in batch._isources
                 for src in sources]
     controller.register_breakpoints(collect_breakpoints(stimuli, tstop))
-    ADAPTIVE_STATS["runs"] += 1
+    record("adaptive_runs")
 
     vcap_prev = batch.cap_branch_voltages(x)
     icap_prev = np.zeros_like(vcap_prev)

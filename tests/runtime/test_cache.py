@@ -1,5 +1,7 @@
 """ResultCache round-trip and layout tests."""
 
+import json
+import math
 import os
 
 import numpy as np
@@ -39,6 +41,46 @@ class TestJsonValues:
     def test_unserialisable_rejected(self, cache):
         with pytest.raises(TypeError):
             cache.put(stable_hash("bad"), object())
+
+
+class TestNonFiniteFloats:
+    """Regression: NaN/Infinity used to be written as bare ``NaN`` /
+    ``Infinity`` tokens — a Python-only JSON extension that breaks any
+    strict consumer (jq, browsers, other languages) reading the cache."""
+
+    def test_nan_round_trips(self, cache):
+        key = stable_hash("nan")
+        cache.put(key, {"w_out": float("nan"), "detected": False})
+        value = cache.get(key)
+        assert math.isnan(value["w_out"])
+        assert value["detected"] is False
+
+    def test_infinities_round_trip(self, cache):
+        key = stable_hash("inf")
+        cache.put(key, [float("inf"), float("-inf"), 1.0])
+        assert cache.get(key) == [float("inf"), float("-inf"), 1.0]
+
+    def test_numpy_nan_round_trips(self, cache):
+        key = stable_hash("npnan")
+        cache.put(key, {"x": np.float64("nan")})
+        assert math.isnan(cache.get(key)["x"])
+
+    def test_nan_inside_embedded_array(self, cache):
+        key = stable_hash("nanarray")
+        stored = np.array([1.0, float("nan"), float("inf")])
+        cache.put(key, {"meta": "row", "data": stored})
+        loaded = cache.get(key)["data"]
+        np.testing.assert_array_equal(loaded, stored)
+
+    def test_stored_json_is_strict(self, cache):
+        """The on-disk bytes must parse without Python's lenient
+        constants — ``parse_constant`` fires on NaN/Infinity tokens."""
+        key = stable_hash("strict")
+        cache.put(key, {"a": float("nan"), "b": [float("-inf")],
+                        "c": np.array([float("nan")])})
+        json_path, _ = cache._paths(key)
+        with open(json_path) as handle:
+            json.load(handle, parse_constant=pytest.fail)
 
 
 class TestNpzValues:

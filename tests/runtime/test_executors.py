@@ -39,9 +39,10 @@ def _sleepy(payload):
 
 
 def _newton_accounting(payload):
-    from repro.spice.mna import NEWTON_STATS
-    NEWTON_STATS["solves"] += payload["solves"]
-    NEWTON_STATS["iterations"] += 3 * payload["solves"]
+    from repro.runtime.stats import current_stats
+    stats = current_stats()
+    stats.count("newton_solves", payload["solves"])
+    stats.count("newton_iterations", 3 * payload["solves"])
     return payload["solves"]
 
 

@@ -5,8 +5,9 @@ import os
 
 import pytest
 
-from repro.runtime import (FAILED, ProcessPoolExecutor, ResultCache,
-                           Runtime, SerialExecutor, stable_hash)
+from repro.runtime import (FAILED, CampaignCheckpoint,
+                           ProcessPoolExecutor, ResultCache, Runtime,
+                           SerialExecutor, stable_hash)
 
 
 def _double(payload):
@@ -25,6 +26,12 @@ def _maybe_none(payload):
         return None  # a legitimate result, not a failure
     if payload["x"] == 2:
         raise ValueError("boom")
+    return payload["x"]
+
+
+def _interrupt_on_two(payload):
+    if payload["x"] == 2:
+        raise KeyboardInterrupt("simulated ^C mid-campaign")
     return payload["x"]
 
 
@@ -133,6 +140,65 @@ class TestCaching:
         assert runtime.cache.n_objects() == 3
         rerun = runtime.run(_maybe_none, _payloads(4), keys=_keys(4))
         assert rerun.report.cache_hits == 3  # the failure retried
+
+
+def _read_manifest(cache_dir):
+    manifests = os.path.join(cache_dir, "manifests")
+    (name,) = os.listdir(manifests)
+    with open(os.path.join(manifests, name)) as handle:
+        return json.load(handle)
+
+
+class TestCheckpointFlush:
+    """Regression: with ``checkpoint_every`` larger than the task count
+    the manifest could trail the result cache by up to ``every - 1``
+    marks — a clean finish left it stale, and an exception escaping the
+    dispatch lost the progress entirely."""
+
+    def test_clean_finish_flushes_pending_marks(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runtime = Runtime(cache=cache_dir, checkpoint_every=100)
+        runtime.run(_double, _payloads(3), keys=_keys(3), label="fl")
+        manifest = _read_manifest(cache_dir)
+        assert manifest["n_completed"] == 3
+        assert len(manifest["completed"]) == 3
+
+    def test_batched_clean_finish_flushes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runtime = Runtime(cache=cache_dir, checkpoint_every=100)
+        runtime.run_batched(_chunk_double, _payloads(5), keys=_keys(5),
+                            batch_size=2, label="flb")
+        assert _read_manifest(cache_dir)["n_completed"] == 5
+
+    def test_exception_path_flushes_progress(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runtime = Runtime(cache=cache_dir, checkpoint_every=100)
+        with pytest.raises(KeyboardInterrupt):
+            runtime.run(_interrupt_on_two, _payloads(5), keys=_keys(5),
+                        label="kill")
+        manifest = _read_manifest(cache_dir)
+        assert manifest["n_completed"] == 2  # tasks 0 and 1 finished
+
+    def test_interrupted_progress_resumes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runtime = Runtime(cache=cache_dir, checkpoint_every=100)
+        with pytest.raises(KeyboardInterrupt):
+            runtime.run(_interrupt_on_two, _payloads(5), keys=_keys(5),
+                        label="kill")
+        rerun = runtime.run(_double, _payloads(5), keys=_keys(5),
+                            label="kill")
+        assert rerun.report.cache_hits == 2
+        assert rerun.report.resumed == 2
+
+    def test_pending_marks_counter(self, tmp_path):
+        checkpoint = CampaignCheckpoint("abc123", root=str(tmp_path),
+                                        every=10)
+        checkpoint.mark_done("k1")
+        checkpoint.mark_done("k2")
+        assert checkpoint.pending_marks == 2
+        checkpoint.flush()
+        assert checkpoint.pending_marks == 0
+        assert os.path.exists(checkpoint.path)
 
 
 class TestFromEnv:
