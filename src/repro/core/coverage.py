@@ -155,6 +155,39 @@ def _sweep_chunk_task(payloads):
     return rows
 
 
+def build_sweep_payloads(samples, fault, resistances, tech=None, dt=None,
+                         engine="scalar", adaptive=False, lte_tol=None,
+                         path_kwargs=None, with_keys=True,
+                         **measure_spec):
+    """Payloads + cache keys for a per-sample measurement sweep.
+
+    This is the single source of truth for the sweep task contract:
+    the in-process drivers (:func:`sweep_pulse_measurements` /
+    :func:`sweep_delay_measurements`) and the job service's batch
+    aggregator both build their payloads here, so a row computed
+    through either path lands under the same content-addressed cache
+    key.  ``measure_spec`` is ``measure="pulse", omega_in=..., kind=...``
+    or ``measure="delay", direction=...``; returns ``(payloads, keys)``
+    with ``keys=None`` when ``with_keys`` is false.
+    """
+    if engine not in ("scalar", "batched"):
+        raise ValueError("unknown engine {!r}".format(engine))
+    tech = default_technology() if tech is None else tech
+    path_kwargs = {} if path_kwargs is None else dict(path_kwargs)
+    resistances = [float(r) for r in resistances]
+    payloads = [dict(sample=sample, fault=fault, resistances=resistances,
+                     tech=tech, dt=dt, path_kwargs=path_kwargs,
+                     adaptive=adaptive, lte_tol=lte_tol, **measure_spec)
+                for sample in samples]
+    keys = None
+    if with_keys:
+        tag = engine_cache_tag(engine, adaptive, lte_tol)
+        keys = [stable_hash("sweep-row", tech, sample, fault, resistances,
+                            dt, path_kwargs, measure_spec, *tag)
+                for sample in samples]
+    return payloads, keys
+
+
 def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
                 report, path_kwargs, engine="scalar", batch_size=None,
                 adaptive=False, lte_tol=None, **measure_spec):
@@ -167,21 +200,11 @@ def _sweep_rows(samples, fault, resistances, tech, dt, runtime, label,
     carry an engine tag so the two engines never serve each other's
     cached rows (they agree only to tolerance, not bit-exactly).
     """
-    if engine not in ("scalar", "batched"):
-        raise ValueError("unknown engine {!r}".format(engine))
-    tech = default_technology() if tech is None else tech
     runtime = Runtime() if runtime is None else runtime
-    resistances = [float(r) for r in resistances]
-    payloads = [dict(sample=sample, fault=fault, resistances=resistances,
-                     tech=tech, dt=dt, path_kwargs=path_kwargs,
-                     adaptive=adaptive, lte_tol=lte_tol, **measure_spec)
-                for sample in samples]
-    keys = None
-    if runtime.cache is not None:
-        tag = engine_cache_tag(engine, adaptive, lte_tol)
-        keys = [stable_hash("sweep-row", tech, sample, fault, resistances,
-                            dt, path_kwargs, measure_spec, *tag)
-                for sample in samples]
+    payloads, keys = build_sweep_payloads(
+        samples, fault, resistances, tech=tech, dt=dt, engine=engine,
+        adaptive=adaptive, lte_tol=lte_tol, path_kwargs=path_kwargs,
+        with_keys=runtime.cache is not None, **measure_spec)
     if engine == "batched":
         run = runtime.run_batched(_sweep_chunk_task, payloads, keys=keys,
                                   batch_size=batch_size, label=label,

@@ -12,7 +12,10 @@ from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
                         default_n_jobs)
 from .hashing import canonical_token, stable_hash
 from .runner import (DEFAULT_BATCH_SIZE, DEFAULT_CACHE_DIR,
-                     CampaignRun, Runtime, engine_cache_tag)
+                     CampaignCancelled, CampaignRun, Runtime,
+                     engine_cache_tag)
+from .schema import (SCHEMA_VERSION, SchemaVersionError,
+                     check_schema_version)
 from .stats import (SolverStats, StatsView, current_stats, record,
                     root_stats, stats_scope)
 from .telemetry import RunReport
@@ -20,11 +23,12 @@ from .trace import TraceWriter, read_trace
 
 __all__ = [
     "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
-    "DEFAULT_BATCH_SIZE", "engine_cache_tag",
+    "DEFAULT_BATCH_SIZE", "engine_cache_tag", "CampaignCancelled",
     "SerialExecutor", "ProcessPoolExecutor", "TaskOutcome", "FAILED",
     "WorkerError", "TaskTimeout", "default_n_jobs",
     "ResultCache", "CacheMiss", "CampaignCheckpoint",
     "stable_hash", "canonical_token",
+    "SCHEMA_VERSION", "SchemaVersionError", "check_schema_version",
     "SolverStats", "StatsView", "stats_scope", "current_stats",
     "root_stats", "record", "TraceWriter", "read_trace",
 ]

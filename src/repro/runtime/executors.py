@@ -302,16 +302,22 @@ class ProcessPoolExecutor:
         def settle_ok(future):
             chunk = futures[future]
             try:
-                for outcome in future.result():
-                    outcome.retries = attempt
-                    results[outcome.index] = outcome
-                    if outcome.ok and on_result is not None:
-                        on_result(outcome)
+                outcomes = future.result()
             except Exception as exc:  # noqa: BLE001 - pool fault
                 for index in chunk:
                     results[index] = TaskOutcome(
                         index, error_type=type(exc).__name__,
                         error_message=str(exc))
+                return
+            # on_result runs *outside* the pool-fault guard: an
+            # exception it raises (cooperative cancellation, a broken
+            # cache) is the caller unwinding the round, not a task
+            # failure to be recorded.
+            for outcome in outcomes:
+                outcome.retries = attempt
+                results[outcome.index] = outcome
+                if outcome.ok and on_result is not None:
+                    on_result(outcome)
 
         try:
             futures = {}
@@ -357,7 +363,15 @@ class ProcessPoolExecutor:
                     return_when=concurrent.futures.FIRST_COMPLETED)
                 for future in done:
                     waiting.discard(future)
-                    settle_ok(future)
+                    try:
+                        settle_ok(future)
+                    except BaseException:
+                        # The caller is unwinding (cancellation): don't
+                        # join workers still grinding through chunks —
+                        # their per-item results were never settled and
+                        # a cancelled run must return promptly.
+                        hung = True
+                        raise
         finally:
             self._shutdown(pool, kill=hung)
         return results

@@ -33,6 +33,24 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 DEFAULT_BATCH_SIZE = 32
 
 
+class CampaignCancelled(Exception):
+    """A run was cancelled cooperatively via its ``should_stop`` callback.
+
+    Raised by :meth:`Runtime.run`/:meth:`Runtime.run_batched` between
+    settled tasks/chunks.  By the time this propagates the checkpoint
+    manifest has been flushed and every already-settled result is in the
+    cache, so re-running the same campaign resumes instead of
+    restarting — a cancelled run is a paused run, not a torn one.
+    """
+
+    def __init__(self, label, done=0, total=0):
+        super().__init__("campaign {!r} cancelled after {}/{} tasks"
+                         .format(label, done, total))
+        self.label = label
+        self.done = done
+        self.total = total
+
+
 def engine_cache_tag(engine="scalar", adaptive=False, lte_tol=None):
     """Cache-key tag tuple for the simulation-engine configuration.
 
@@ -94,10 +112,17 @@ class Runtime:
         A :class:`~repro.runtime.trace.TraceWriter` (or path string) to
         append one JSONL event per executed task, or None (default) to
         disable tracing.
+    should_stop:
+        Optional zero-argument callable polled between settled
+        tasks/chunks by every :meth:`run`/:meth:`run_batched` call on
+        this runtime (a per-call ``should_stop`` overrides it).  When
+        it returns true the run flushes its checkpoint and raises
+        :class:`CampaignCancelled` — cooperative cancellation for
+        long-lived hosts such as the job service.
     """
 
     def __init__(self, executor=None, cache=None, checkpoint_every=8,
-                 trace=None):
+                 trace=None, should_stop=None):
         self.executor = SerialExecutor() if executor is None else executor
         if isinstance(cache, str):
             cache = ResultCache(cache)
@@ -106,6 +131,7 @@ class Runtime:
         if isinstance(trace, str):
             trace = TraceWriter(trace)
         self.trace = trace
+        self.should_stop = should_stop
 
     # ------------------------------------------------------------------
 
@@ -238,13 +264,32 @@ class Runtime:
             settle()
         return checkpoint, pending
 
+    def _cancel_check(self, should_stop, label, done, total):
+        """The cancellation poll shared by :meth:`run`/:meth:`run_batched`.
+
+        Returns a zero-argument callable raising
+        :class:`CampaignCancelled` when the effective ``should_stop``
+        (per-call, else runtime-wide) reports true.
+        """
+        if should_stop is None:
+            should_stop = self.should_stop
+
+        def check():
+            if should_stop is not None and should_stop():
+                raise CampaignCancelled(label, done=done[0], total=total)
+
+        return check
+
     def run(self, fn, payloads, keys=None, label="campaign",
-            report=None, progress=None):
+            report=None, progress=None, should_stop=None):
         """Map ``fn`` over ``payloads``; returns a :class:`CampaignRun`.
 
         ``keys`` enables caching/checkpointing: one stable cache key per
         payload (see :func:`repro.runtime.hashing.stable_hash`).
         ``progress(done, total)`` is invoked after every settled task.
+        ``should_stop()`` is polled after every settled task; when true
+        the run raises :class:`CampaignCancelled` with the checkpoint
+        manifest flushed (the run stays resumable).
         """
         payloads = list(payloads)
         n = len(payloads)
@@ -253,6 +298,7 @@ class Runtime:
         values = [FAILED] * n
         errors = {}
         done = [0]
+        check_cancel = self._cancel_check(should_stop, label, done, n)
 
         def settle(count=1):
             done[0] += count
@@ -271,12 +317,14 @@ class Runtime:
                              keys[index] if keys is not None else None,
                              outcome)
             settle()
+            check_cancel()
 
         # The manifest must always flush — a clean finish may hold up to
         # ``checkpoint_every - 1`` unflushed marks, and an exception
-        # escaping the dispatch (cache write failure, KeyboardInterrupt)
-        # must not lose the progress already made.
+        # escaping the dispatch (cache write failure, cancellation,
+        # KeyboardInterrupt) must not lose the progress already made.
         try:
+            check_cancel()
             if pending:
                 outcomes = self.executor.map_tasks(
                     fn, [payloads[i] for i in pending],
@@ -296,7 +344,8 @@ class Runtime:
         return CampaignRun(values, errors, report)
 
     def run_batched(self, fn, payloads, keys=None, batch_size=None,
-                    label="campaign", report=None, progress=None):
+                    label="campaign", report=None, progress=None,
+                    should_stop=None):
         """Map a *chunk* task over ``payloads`` in lockstep batches.
 
         ``fn`` receives a **list** of payloads and must return a list of
@@ -308,6 +357,8 @@ class Runtime:
         granularity stays **per item**: cached items never re-enter a
         chunk, and every item of a completed chunk is persisted under
         its own key.  A failed chunk marks all of its items failed.
+        ``should_stop()`` is polled between settled chunks (see
+        :meth:`run`); a cancelled run keeps every completed chunk.
         """
         payloads = list(payloads)
         n = len(payloads)
@@ -318,6 +369,7 @@ class Runtime:
         values = [FAILED] * n
         errors = {}
         done = [0]
+        check_cancel = self._cancel_check(should_stop, label, done, n)
 
         def settle(count=1):
             done[0] += count
@@ -354,8 +406,10 @@ class Runtime:
                     checkpoint.mark_done(keys[index])
             self._trace_chunk(label, chunk, keys, outcome)
             settle(len(chunk))
+            check_cancel()
 
         try:
+            check_cancel()
             if chunks:
                 outcomes = self.executor.map_tasks(
                     fn, [[payloads[i] for i in chunk] for chunk in chunks],

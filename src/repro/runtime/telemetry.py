@@ -16,6 +16,7 @@ import json
 import time
 from collections import Counter
 
+from .schema import SCHEMA_VERSION, check_schema_version
 from .stats import SolverStats
 
 
@@ -144,6 +145,7 @@ class RunReport:
     def summary(self):
         durations = sorted(self.durations)
         return {
+            "schema_version": SCHEMA_VERSION,
             "label": self.label,
             "executor": self.executor,
             "n_tasks": self.n_tasks,
@@ -173,6 +175,17 @@ class RunReport:
         with open(path, "w") as handle:
             json.dump(self.summary(), handle, indent=2, sort_keys=True)
         return path
+
+    @staticmethod
+    def load_summary(path):
+        """Read back a :meth:`to_json` summary, validating its schema.
+
+        Raises :class:`~repro.runtime.schema.SchemaVersionError` when
+        the stored record comes from an unknown schema major.
+        """
+        with open(path) as handle:
+            return check_schema_version(json.load(handle),
+                                        what="run report " + str(path))
 
     def format_report(self):
         """Human-readable multi-line summary (CLI output)."""

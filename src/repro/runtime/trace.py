@@ -17,6 +17,7 @@ so ``jq``/``pandas.read_json(lines=True)`` consume them directly.
 import json
 
 from .cache import encode_jsonable
+from .schema import SCHEMA_VERSION, check_schema_version
 
 
 class TraceWriter:
@@ -28,9 +29,16 @@ class TraceWriter:
         self.n_events = 0
 
     def emit(self, event):
-        """Append one event dict as a JSON line (flushed immediately)."""
+        """Append one event dict as a JSON line (flushed immediately).
+
+        Every line is stamped with the current ``schema_version`` (the
+        event dict wins if it already carries one), so trace consumers
+        can reject files written by an incompatible future tree.
+        """
         if self._handle is None:
             self._handle = open(self.path, "a")
+        event = dict(event)
+        event.setdefault("schema_version", SCHEMA_VERSION)
         line = json.dumps(encode_jsonable(event), sort_keys=True,
                           allow_nan=False)
         self._handle.write(line + "\n")
@@ -53,12 +61,23 @@ class TraceWriter:
                                                      self.n_events)
 
 
-def read_trace(path):
-    """Load a JSONL trace back into a list of event dicts (tests/tools)."""
+def read_trace(path, check_schema=True):
+    """Load a JSONL trace back into a list of event dicts (tests/tools).
+
+    With ``check_schema`` (the default) every event's
+    ``schema_version`` is validated and an unknown major raises
+    :class:`~repro.runtime.schema.SchemaVersionError`; pre-versioning
+    traces (no field) load unchanged.
+    """
     events = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            event = json.loads(line)
+            if check_schema:
+                check_schema_version(
+                    event, what="trace event {}:{}".format(path, number))
+            events.append(event)
     return events

@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: a job server over the campaign runtime.
+
+Long Monte Carlo campaigns stop being one-shot CLI invocations and
+become *jobs*: submitted over a stdlib HTTP/JSON API, scheduled by a
+bounded priority queue with backpressure, executed through the shared
+:class:`~repro.runtime.Runtime` (content-addressed cache + checkpoint,
+so jobs survive server restarts and identical resubmissions are free),
+observable through per-job live event streams, and cancellable
+cooperatively mid-run.
+
+Queued ``sweep`` jobs with matching engine signatures are additionally
+*coalesced* — continuous batching for the stacked lockstep MNA engine:
+samples from different submitters share one ``run_batched`` call while
+each submitter keeps their own results, events and cache keys.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.jobs` — specs, states, the Job record;
+* :mod:`repro.service.queue` — bounded priority FIFO (429 source);
+* :mod:`repro.service.store` — durable per-job JSON records;
+* :mod:`repro.service.runners` — spec -> experiment driver dispatch;
+* :mod:`repro.service.aggregator` — sweep coalescing signatures;
+* :mod:`repro.service.manager` — workers, events, recovery;
+* :mod:`repro.service.server` — the stdlib HTTP front-end;
+* :mod:`repro.service.client` — the urllib SDK.
+"""
+
+from .aggregator import compatible, sweep_signature
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .jobs import (CANCELLED, DONE, FAILED, JOB_KINDS, QUEUED, RUNNING,
+                   TERMINAL_STATES, InvalidTransition, Job, SpecError,
+                   normalize_spec)
+from .manager import DEFAULT_DATA_DIR, JobEventLog, JobManager
+from .queue import PriorityJobQueue, QueueFull
+from .runners import execute_spec
+from .server import JobServer, ServiceRequestHandler
+from .store import JobStore
+
+__all__ = [
+    "Job", "JobManager", "JobServer", "JobStore", "JobEventLog",
+    "PriorityJobQueue", "QueueFull", "ServiceClient", "ServiceError",
+    "ServiceUnavailable", "ServiceRequestHandler", "SpecError",
+    "InvalidTransition", "normalize_spec", "execute_spec",
+    "sweep_signature", "compatible", "DEFAULT_DATA_DIR",
+    "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED",
+    "TERMINAL_STATES", "JOB_KINDS",
+]

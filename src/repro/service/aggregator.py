@@ -1,0 +1,86 @@
+"""Dynamic batch aggregation: continuous batching for queued sweeps.
+
+The serving pattern from LLM inference applied to the batched MNA
+engine: queued ``sweep`` jobs whose *engine signature* matches are
+coalesced into one stacked :meth:`Runtime.run_batched` call, so the
+lockstep transient engine amortises its per-step stacked solve over
+samples belonging to *different submitters*.
+
+The signature captures exactly the fields that must agree for two
+jobs' samples to share a lockstep chunk:
+
+* same measurement (``pulse`` + omega_in/kind, or ``delay`` +
+  direction) and resistance grid — a chunk task reads these from its
+  first payload and applies them to every sample in the chunk;
+* same fault kind and stage — injection changes the circuit topology,
+  and the batch compiler stacks only topology-identical circuits;
+* same time-grid discipline (``dt``, ``adaptive``, ``lte_tol``) — the
+  cache-compatible engine tag of
+  :func:`repro.runtime.engine_cache_tag`.
+
+``n_samples``, ``seed``, ``priority`` and ``batch_size`` are *not*
+part of the signature: they vary freely across coalesced jobs.
+Cache/checkpoint granularity stays per item, so coalescing never
+changes what lands in the cache — only how many stacked solves it
+took to get there.
+"""
+
+from ..runtime import stable_hash
+from .runners import sweep_payloads
+
+
+def sweep_signature(spec):
+    """Coalescing key for a normalized sweep spec (None if not a sweep)."""
+    if spec.get("kind") != "sweep":
+        return None
+    return stable_hash(
+        "sweep-signature",
+        spec.get("measure", "pulse"),
+        spec.get("omega_in"), spec.get("pulse_kind"),
+        spec.get("direction"),
+        spec.get("fault"), spec.get("stage"),
+        [float(r) for r in spec["resistances"]],
+        spec.get("dt"), bool(spec.get("adaptive")), spec.get("lte_tol"))
+
+
+def compatible(spec_a, spec_b):
+    """True when two specs may share one lockstep batch."""
+    sig_a, sig_b = sweep_signature(spec_a), sweep_signature(spec_b)
+    return sig_a is not None and sig_a == sig_b
+
+
+def build_group_payloads(specs, with_keys=True):
+    """Concatenated payloads/keys for a group of compatible sweep specs.
+
+    Returns ``(payloads, keys, offsets)`` where ``offsets[i]`` is the
+    ``(start, end)`` slice of job *i*'s samples in the concatenated
+    list.  ``keys`` is None when ``with_keys`` is false.
+    """
+    payloads, keys, offsets = [], [], []
+    for spec in specs:
+        job_payloads, job_keys = sweep_payloads(spec, with_keys=with_keys)
+        offsets.append((len(payloads), len(payloads) + len(job_payloads)))
+        payloads.extend(job_payloads)
+        if with_keys:
+            keys.extend(job_keys)
+    return payloads, (keys if with_keys else None), offsets
+
+
+def split_group_values(values, offsets):
+    """Slice a group run's value list back into per-job row lists."""
+    return [values[start:end] for start, end in offsets]
+
+
+def group_batch_size(specs, default=None):
+    """The lockstep batch size for a coalesced group.
+
+    The *largest* requested size wins (a submitter asking for small
+    batches is bounding memory per chunk, not forbidding neighbours;
+    the widest request sets the stacking the group can exploit);
+    ``default`` applies when no spec asks for anything.
+    """
+    sizes = [spec["batch_size"] for spec in specs
+             if spec.get("batch_size")]
+    if not sizes:
+        return default
+    return max(sizes)

@@ -1,0 +1,172 @@
+"""urllib-based SDK for the job service (no third-party deps).
+
+Mirrors the HTTP API one method per endpoint, decodes strict-JSON
+bodies back into Python (NaN/Inf round-trip), and maps the service's
+error statuses onto exceptions:
+
+* 4xx/5xx with a JSON ``{"error": ...}`` body ->
+  :class:`ServiceError` carrying the status;
+* 429 -> :class:`ServiceUnavailable` carrying the parsed
+  ``Retry-After`` hint so callers can back off and resubmit.
+
+:meth:`ServiceClient.watch` is the convenience loop used by the CLI:
+long-polls the event endpoint, hands each event to a callback, and
+returns the final job record once the job is terminal.
+"""
+
+import json
+import time
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..runtime.cache import decode_jsonable, encode_jsonable
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status, message):
+        super().__init__("HTTP {}: {}".format(status, message))
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """429 backpressure; retry after :attr:`retry_after` seconds."""
+
+    def __init__(self, message, retry_after=1.0):
+        super().__init__(429, message)
+        self.retry_after = float(retry_after)
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one service base URL."""
+
+    def __init__(self, base_url, timeout=60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method, path, payload=None, timeout=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(encode_jsonable(payload),
+                              allow_nan=False).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request,
+                         timeout=self.timeout if timeout is None
+                         else timeout) as response:
+                return decode_jsonable(
+                    json.loads(response.read().decode("utf-8")))
+        except HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body.strip() or exc.reason
+            if exc.code == 429:
+                raise ServiceUnavailable(
+                    message,
+                    retry_after=float(exc.headers.get("Retry-After")
+                                      or 1.0)) from None
+            raise ServiceError(exc.code, message) from None
+        except URLError as exc:
+            raise ServiceError(0, "cannot reach {}: {}".format(
+                url, exc.reason)) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self):
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec, priority=0):
+        """POST /jobs; returns the created job record."""
+        return self._request("POST", "/jobs",
+                             {"spec": spec, "priority": priority})["job"]
+
+    def submit_retrying(self, spec, priority=0, attempts=8):
+        """Submit with automatic backoff on 429 backpressure."""
+        for attempt in range(attempts):
+            try:
+                return self.submit(spec, priority=priority)
+            except ServiceUnavailable as exc:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(min(exc.retry_after, 10.0))
+
+    def job(self, job_id):
+        return self._request("GET", "/jobs/{}".format(job_id))["job"]
+
+    def jobs(self):
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id):
+        return self._request("DELETE", "/jobs/{}".format(job_id))["job"]
+
+    def events(self, job_id, after=-1, wait=0.0):
+        """One long-poll read; returns the response dict."""
+        path = "/jobs/{}/events?after={}&wait={}".format(
+            job_id, int(after), float(wait))
+        return self._request("GET", path,
+                             timeout=self.timeout + float(wait))
+
+    def stream_events(self, job_id, after=-1):
+        """Iterate the chunked ndjson live stream (blocking generator)."""
+        url = "{}/jobs/{}/events?stream=1&after={}".format(
+            self.base_url, job_id, int(after))
+        request = Request(url, headers={"Accept": "application/x-ndjson"})
+        with urlopen(request, timeout=None) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield decode_jsonable(json.loads(
+                        line.decode("utf-8")))
+
+    # ------------------------------------------------------------------
+    # Convenience loops
+    # ------------------------------------------------------------------
+
+    def watch(self, job_id, on_event=None, poll_wait=10.0):
+        """Follow a job to completion; returns its final record.
+
+        Long-polls the event endpoint, invoking ``on_event(event)``
+        for every event as it arrives (heartbeats are not synthesised
+        here — quiet periods simply produce empty polls).
+        """
+        after = -1
+        while True:
+            response = self.events(job_id, after=after, wait=poll_wait)
+            for event in response["events"]:
+                after = event["seq"]
+                if on_event is not None:
+                    on_event(event)
+            job = self.job(job_id)
+            if job["state"] in ("DONE", "FAILED", "CANCELLED"):
+                # drain anything emitted between the poll and the GET
+                tail = self.events(job_id, after=after, wait=0.0)
+                if on_event is not None:
+                    for event in tail["events"]:
+                        on_event(event)
+                return job
+
+    def wait(self, job_id, poll=0.5, timeout=None):
+        """Poll GET /jobs/<id> until terminal; returns the record."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + float(timeout))
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("DONE", "FAILED", "CANCELLED"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    "job {} still {} after {}s".format(
+                        job_id, job["state"], timeout))
+            time.sleep(poll)

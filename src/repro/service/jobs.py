@@ -1,0 +1,291 @@
+"""Job model for the campaign service.
+
+A *job* is one submitted experiment spec plus its lifecycle record.
+The state machine is strict — every transition is validated::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          ├──────> FAILED
+       └──────────┴──────> CANCELLED
+
+Terminal states (``DONE``/``FAILED``/``CANCELLED``) are final; a
+"restarted" job is a *new* submission of the same spec, which the
+content-addressed result cache turns into a resume.
+
+Specs are plain JSON dicts with a ``kind`` discriminator::
+
+    {"kind": "coverage", "fault": "open"|"bridging",
+     "config": {ExperimentConfig knobs}}
+    {"kind": "campaign", "seed": 432, "samples": 5, "sites": null,
+     "stride": 2, "fast": false}
+    {"kind": "transfer", "config": {ExperimentConfig knobs}}
+    {"kind": "sweep", "measure": "pulse"|"delay",
+     "fault": "external_open"|"internal_open"|"bridging", "stage": 2,
+     "resistances": [...], "omega_in": 4e-10, "pulse_kind": "h",
+     "direction": "rise", "n_samples": 4, "seed": 1, "dt": 5e-12,
+     "adaptive": false, "lte_tol": null, "batch_size": null}
+
+``sweep`` jobs are the dynamically batchable unit: queued sweeps whose
+engine signature matches (see :mod:`repro.service.aggregator`) are
+coalesced into one stacked lockstep run.
+"""
+
+import threading
+import time
+import uuid
+
+from ..runtime.schema import check_schema_version, stamp
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: states a job can never leave
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+JOB_KINDS = ("coverage", "campaign", "transfer", "sweep")
+
+SWEEP_FAULT_KINDS = ("external_open", "internal_open", "bridging")
+
+
+class SpecError(ValueError):
+    """A submitted job spec is malformed (HTTP 400)."""
+
+
+class InvalidTransition(RuntimeError):
+    """An illegal job state transition was attempted."""
+
+
+def new_job_id():
+    return uuid.uuid4().hex[:12]
+
+
+def _require(condition, message):
+    if not condition:
+        raise SpecError(message)
+
+
+def _as_float(spec, key, default=None, required=False):
+    value = spec.get(key, default)
+    if value is None:
+        _require(not required, "sweep spec needs {!r}".format(key))
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise SpecError("{!r} must be a number, got {!r}".format(
+            key, value)) from None
+
+
+def _as_int(spec, key, default=None, minimum=None):
+    value = spec.get(key, default)
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise SpecError("{!r} must be an integer, got {!r}".format(
+            key, spec.get(key))) from None
+    if minimum is not None and value < minimum:
+        raise SpecError("{!r} must be >= {}, got {}".format(
+            key, minimum, value))
+    return value
+
+
+def _validated_config(spec):
+    """Validate an embedded ExperimentConfig section; returns the dict."""
+    from ..core.experiments import ExperimentConfig
+
+    config = spec.get("config") or {}
+    _require(isinstance(config, dict), "'config' must be an object")
+    try:
+        ExperimentConfig.from_jsonable(config)
+    except (TypeError, ValueError) as exc:
+        raise SpecError("invalid experiment config: {}".format(exc)) \
+            from None
+    return dict(config)
+
+
+def normalize_spec(spec):
+    """Validate a submitted spec; returns its canonical dict form.
+
+    Raises :class:`SpecError` with a submitter-actionable message on
+    anything malformed — a bad spec must be rejected at submission
+    time (HTTP 400), never discovered mid-run.
+    """
+    _require(isinstance(spec, dict), "job spec must be a JSON object")
+    kind = spec.get("kind")
+    _require(kind in JOB_KINDS,
+             "unknown job kind {!r} (one of {})".format(
+                 kind, ", ".join(JOB_KINDS)))
+    if kind == "coverage":
+        fault = spec.get("fault", "open")
+        _require(fault in ("open", "bridging"),
+                 "coverage fault must be 'open' or 'bridging', got "
+                 "{!r}".format(fault))
+        return {"kind": kind, "fault": fault,
+                "config": _validated_config(spec)}
+    if kind == "transfer":
+        return {"kind": kind, "config": _validated_config(spec)}
+    if kind == "campaign":
+        return {
+            "kind": kind,
+            "seed": _as_int(spec, "seed", default=432),
+            "samples": _as_int(spec, "samples", default=5, minimum=1),
+            "sites": _as_int(spec, "sites", minimum=1),
+            "stride": _as_int(spec, "stride", default=2, minimum=1),
+            "fast": bool(spec.get("fast", False)),
+        }
+    # kind == "sweep"
+    measure = spec.get("measure", "pulse")
+    _require(measure in ("pulse", "delay"),
+             "sweep measure must be 'pulse' or 'delay', got {!r}"
+             .format(measure))
+    fault = spec.get("fault", "external_open")
+    _require(fault in SWEEP_FAULT_KINDS,
+             "sweep fault must be one of {}, got {!r}".format(
+                 ", ".join(SWEEP_FAULT_KINDS), fault))
+    resistances = spec.get("resistances")
+    _require(isinstance(resistances, (list, tuple)) and resistances,
+             "sweep spec needs a non-empty 'resistances' list")
+    try:
+        resistances = [float(r) for r in resistances]
+    except (TypeError, ValueError):
+        raise SpecError("'resistances' must be numbers") from None
+    out = {
+        "kind": kind,
+        "measure": measure,
+        "fault": fault,
+        "stage": _as_int(spec, "stage", default=2, minimum=0),
+        "resistances": resistances,
+        "n_samples": _as_int(spec, "n_samples", default=4, minimum=1),
+        "seed": _as_int(spec, "seed", default=1),
+        "dt": _as_float(spec, "dt", default=5e-12),
+        "adaptive": bool(spec.get("adaptive", False)),
+        "lte_tol": _as_float(spec, "lte_tol"),
+        "batch_size": _as_int(spec, "batch_size", minimum=1),
+    }
+    if measure == "pulse":
+        out["omega_in"] = _as_float(spec, "omega_in", default=0.40e-9)
+        out["pulse_kind"] = str(spec.get("pulse_kind", "h"))
+        _require(out["pulse_kind"] in ("h", "l"),
+                 "pulse_kind must be 'h' or 'l'")
+    else:
+        out["direction"] = str(spec.get("direction", "rise"))
+        _require(out["direction"] in ("rise", "fall"),
+                 "direction must be 'rise' or 'fall'")
+    return out
+
+
+class Job:
+    """One submitted job: spec + lifecycle record + cancel flag.
+
+    The mutable lifecycle fields are owned by the
+    :class:`~repro.service.manager.JobManager` (guarded by its lock);
+    the cancel flag is a :class:`threading.Event` so the HTTP thread
+    can request cancellation while a worker thread polls it through
+    the runtime's ``should_stop`` hook.
+    """
+
+    def __init__(self, spec, priority=0, job_id=None, submitted_at=None):
+        self.id = new_job_id() if job_id is None else str(job_id)
+        self.spec = spec
+        self.priority = int(priority)
+        self.state = QUEUED
+        self.submitted_at = (time.time() if submitted_at is None
+                             else float(submitted_at))
+        self.started_at = None
+        self.finished_at = None
+        self.error = None
+        #: JSON-serialisable result payload (kind-specific)
+        self.result = None
+        #: the job's RunReport summary dict (per-job telemetry scope)
+        self.report = None
+        self.progress = {"done": 0, "total": None}
+        #: True when this record was re-queued by a server restart
+        self.resumed = False
+        self._cancel = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def request_cancel(self):
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self):
+        return self._cancel.is_set()
+
+    def should_stop(self):
+        """Cancellation poll handed to ``Runtime(should_stop=...)``."""
+        return self._cancel.is_set()
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state):
+        """Move to ``new_state``; raises :class:`InvalidTransition`."""
+        allowed = _TRANSITIONS.get(self.state, frozenset())
+        if new_state not in allowed:
+            raise InvalidTransition(
+                "job {}: cannot transition {} -> {} (allowed: {})"
+                .format(self.id, self.state, new_state,
+                        ", ".join(sorted(allowed)) or "none"))
+        self.state = new_state
+        now = time.time()
+        if new_state == RUNNING:
+            self.started_at = now
+        elif new_state in TERMINAL_STATES:
+            self.finished_at = now
+        return self
+
+    # ------------------------------------------------------------------
+
+    def to_record(self):
+        """The job as a schema-stamped, JSON-serialisable record."""
+        return stamp({
+            "id": self.id,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result": self.result,
+            "report": self.report,
+            "progress": dict(self.progress),
+            "resumed": self.resumed,
+            "cancel_requested": self.cancel_requested,
+        })
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild a job from a stored record (schema-checked)."""
+        check_schema_version(record, what="job record")
+        job = cls(record["spec"], priority=record.get("priority", 0),
+                  job_id=record["id"],
+                  submitted_at=record.get("submitted_at"))
+        job.state = record.get("state", QUEUED)
+        job.started_at = record.get("started_at")
+        job.finished_at = record.get("finished_at")
+        job.error = record.get("error")
+        job.result = record.get("result")
+        job.report = record.get("report")
+        job.progress = dict(record.get("progress")
+                            or {"done": 0, "total": None})
+        job.resumed = bool(record.get("resumed", False))
+        return job
+
+    def __repr__(self):
+        return "Job({}, {}, {})".format(self.id, self.spec.get("kind"),
+                                        self.state)

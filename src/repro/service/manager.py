@@ -1,0 +1,508 @@
+"""The job manager: queue + workers + events + durability.
+
+Owns the whole job lifecycle between the HTTP layer and the campaign
+runtime:
+
+* :meth:`JobManager.submit` validates the spec, persists a QUEUED
+  record and enqueues the job (raising
+  :class:`~repro.service.queue.QueueFull` for the 429 path);
+* a fixed pool of worker threads (``max_concurrency``) drains the
+  priority queue; a worker that dequeues a ``sweep`` job additionally
+  drains signature-compatible queued sweeps and runs the whole group
+  as one stacked lockstep batch (see
+  :mod:`repro.service.aggregator`);
+* every job gets its own telemetry scope: a per-job
+  :class:`JobEventLog` receives the runtime's trace events (task
+  completions with solver counters, cumulative report summaries) plus
+  manager lifecycle events — this is what ``GET /jobs/<id>/events``
+  streams;
+* every state transition is persisted through the
+  :class:`~repro.service.store.JobStore`, so a restarted manager
+  re-serves finished jobs from disk and re-queues interrupted ones
+  (the runtime checkpoint under the shared cache turns re-execution
+  into a resume);
+* ``DELETE`` maps to cooperative cancellation: queued jobs cancel
+  immediately, running jobs get their ``should_stop`` flag set and
+  transition to CANCELLED when the runtime raises
+  :class:`~repro.runtime.CampaignCancelled` (checkpoint flushed — the
+  cancelled job is resumable).
+"""
+
+import os
+import threading
+import time
+
+from ..runtime import (SCHEMA_VERSION, CampaignCancelled,
+                       ProcessPoolExecutor, RunReport, ResultCache,
+                       Runtime, SerialExecutor)
+from ..runtime.cache import encode_jsonable
+from . import jobs as J
+from .aggregator import (build_group_payloads, group_batch_size,
+                         split_group_values, sweep_signature)
+from .jobs import Job
+from .queue import PriorityJobQueue
+from .runners import execute_spec
+from .store import JobStore
+
+#: default service data directory (job records + shared result cache)
+DEFAULT_DATA_DIR = ".repro_service"
+
+
+class JobEventLog:
+    """Append-only per-job event buffer with long-poll support.
+
+    Events get a monotonically increasing ``seq`` (their index) and a
+    wall-clock ``ts``; readers pass the last ``seq`` they saw and block
+    on :meth:`since` until something newer lands or the timeout runs
+    out.  Values are strict-JSON encoded on append so HTTP/JSONL
+    serialisation can never fail mid-stream.
+    """
+
+    def __init__(self):
+        self._events = []
+        self._cond = threading.Condition()
+
+    def append(self, event):
+        event = dict(event)
+        event.setdefault("schema_version", SCHEMA_VERSION)
+        event["ts"] = time.time()
+        with self._cond:
+            event["seq"] = len(self._events)
+            self._events.append(encode_jsonable(event))
+            self._cond.notify_all()
+        return event["seq"]
+
+    def since(self, after=-1, timeout=0.0):
+        """Events with ``seq > after``; blocks up to ``timeout`` s."""
+        after = int(after)
+        with self._cond:
+            if timeout and timeout > 0:
+                self._cond.wait_for(
+                    lambda: len(self._events) > after + 1,
+                    timeout=timeout)
+            return list(self._events[after + 1:])
+
+    def __len__(self):
+        with self._cond:
+            return len(self._events)
+
+
+class _JobTraceSink:
+    """Routes one runtime's trace events into a job's event log."""
+
+    def __init__(self, log):
+        self.log = log
+
+    def emit(self, event):
+        self.log.append(event)
+
+
+class _GroupTraceSink:
+    """Trace fan-out for a coalesced sweep group.
+
+    Per-item ``task`` events carry a global sample index; the sink
+    maps each to its owning job (rewriting the index to the job-local
+    position) so every submitter sees only their own samples' solver
+    effort.  Cumulative ``report`` events describe the whole group and
+    are broadcast to every member.
+    """
+
+    def __init__(self, logs, offsets):
+        self.logs = list(logs)
+        self.offsets = list(offsets)
+
+    def emit(self, event):
+        index = event.get("index")
+        if event.get("event") == "task" and index is not None:
+            for log, (start, end) in zip(self.logs, self.offsets):
+                if start <= index < end:
+                    local = dict(event)
+                    local["index"] = index - start
+                    log.append(local)
+                    return
+        for log in self.logs:
+            log.append(event)
+
+
+class JobManager:
+    """Queue, execute, observe and persist service jobs.
+
+    Parameters
+    ----------
+    data_dir:
+        Durable root: job records under ``jobs/``, the shared runtime
+        result cache (and checkpoint manifests) under ``cache/``.
+    max_concurrency:
+        Worker threads — jobs running at once (groups count as one).
+    queue_capacity:
+        Queued-job bound; beyond it :meth:`submit` raises
+        :class:`QueueFull` (the HTTP 429 path).
+    runtime_jobs:
+        Worker *processes* per job's runtime (1 = in-thread serial).
+    cache:
+        False disables the shared result cache (jobs stop being
+        resumable; used by parity tests).
+    aggregate / aggregate_limit:
+        Enable sweep coalescing and cap how many queued sweeps one
+        worker may drain into a single stacked run (the lead job plus
+        ``aggregate_limit - 1`` others).
+    runner:
+        ``callable(spec, runtime, progress) -> (result, report)``
+        override (tests inject stubs; default
+        :func:`~repro.service.runners.execute_spec`).
+    runtime_factory:
+        ``callable(trace, should_stop) -> Runtime`` override.
+    """
+
+    def __init__(self, data_dir=DEFAULT_DATA_DIR, max_concurrency=2,
+                 queue_capacity=64, runtime_jobs=1, cache=True,
+                 aggregate=True, aggregate_limit=4, runner=None,
+                 runtime_factory=None):
+        self.data_dir = str(data_dir)
+        self.store = JobStore(self.data_dir)
+        self.queue = PriorityJobQueue(queue_capacity)
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.runtime_jobs = max(1, int(runtime_jobs))
+        self.cache_enabled = bool(cache)
+        self.aggregate = bool(aggregate)
+        self.aggregate_limit = max(1, int(aggregate_limit))
+        self.runner = execute_spec if runner is None else runner
+        self.runtime_factory = (self._default_runtime_factory
+                                if runtime_factory is None
+                                else runtime_factory)
+        self.jobs = {}
+        self.events = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._threads = []
+        self._running = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_dir(self):
+        return os.path.join(self.data_dir, "cache")
+
+    def _default_runtime_factory(self, trace, should_stop):
+        if self.runtime_jobs > 1:
+            executor = ProcessPoolExecutor(n_jobs=self.runtime_jobs)
+        else:
+            executor = SerialExecutor()
+        cache = (ResultCache(self.cache_dir) if self.cache_enabled
+                 else None)
+        return Runtime(executor=executor, cache=cache, trace=trace,
+                       should_stop=should_stop)
+
+    def start(self):
+        """Recover persisted jobs and spawn the worker pool."""
+        self._recover()
+        for number in range(self.max_concurrency):
+            thread = threading.Thread(
+                target=self._worker, name="job-worker-{}".format(number),
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, wait=True, cancel_running=False):
+        """Stop the workers; optionally cancel in-flight jobs first.
+
+        Without ``cancel_running`` an in-flight job keeps running until
+        its worker finishes it (its record is persisted either way); a
+        job still RUNNING when the process dies is re-queued — and
+        resumed from its checkpoint — on the next :meth:`start`.
+        """
+        self._stop.set()
+        if cancel_running:
+            with self._lock:
+                for job_id in list(self._running):
+                    self.jobs[job_id].request_cancel()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+        self._threads = []
+
+    def _recover(self):
+        """Rebuild world state from the job store (restart path)."""
+        for record in self.store.load_all():
+            with self._lock:
+                if record["id"] in self.jobs:
+                    # Submitted to *this* manager before start(): it is
+                    # already registered and queued — re-queueing would
+                    # run it twice.
+                    continue
+                job = Job.from_record(record)
+                self.jobs[job.id] = job
+                self.events[job.id] = JobEventLog()
+            if job.state in (J.QUEUED, J.RUNNING):
+                # An interrupted run: whatever completed is in the
+                # shared cache and its checkpoint manifest, so
+                # re-queueing re-executes only the remainder.
+                job.state = J.QUEUED
+                job.started_at = None
+                job.resumed = True
+                self.store.save(job.to_record())
+                self._emit_state(job, note="requeued after restart")
+                self.queue.put(job, force=True)
+
+    # ------------------------------------------------------------------
+    # Submission / inspection / cancellation (HTTP-facing)
+    # ------------------------------------------------------------------
+
+    def submit(self, spec, priority=0):
+        """Validate, persist and enqueue a job; returns the Job.
+
+        Raises :class:`~repro.service.jobs.SpecError` (400) or
+        :class:`~repro.service.queue.QueueFull` (429).
+        """
+        job = Job(J.normalize_spec(spec), priority=priority)
+        with self._lock:
+            self.jobs[job.id] = job
+            self.events[job.id] = JobEventLog()
+        try:
+            self.store.save(job.to_record())
+            self.queue.put(job)
+        except BaseException:
+            with self._lock:
+                self.jobs.pop(job.id, None)
+                self.events.pop(job.id, None)
+            self.store.delete(job.id)
+            raise
+        self._emit_state(job)
+        return job
+
+    def get_job(self, job_id):
+        with self._lock:
+            if job_id not in self.jobs:
+                raise KeyError(job_id)
+            return self.jobs[job_id]
+
+    def list_jobs(self):
+        """Every known job record, oldest submission first."""
+        with self._lock:
+            jobs = list(self.jobs.values())
+        jobs.sort(key=lambda j: j.submitted_at)
+        return [job.to_record() for job in jobs]
+
+    def cancel(self, job_id):
+        """Request cancellation; returns the (possibly updated) Job.
+
+        A still-queued job transitions to CANCELLED immediately; a
+        running job is flagged and transitions when its runtime
+        acknowledges between chunks (cooperative).  Terminal jobs are
+        left untouched.
+        """
+        job = self.get_job(job_id)
+        with self._lock:
+            if job.terminal:
+                return job
+            job.request_cancel()
+            if job.state == J.QUEUED and self.queue.remove(job.id):
+                job.transition(J.CANCELLED)
+                self.store.save(job.to_record())
+                self._emit_state(job, note="cancelled while queued")
+        return job
+
+    def events_since(self, job_id, after=-1, timeout=0.0):
+        """Long-poll read of one job's event stream."""
+        with self._lock:
+            if job_id not in self.events:
+                raise KeyError(job_id)
+            log = self.events[job_id]
+        return log.since(after=after, timeout=timeout)
+
+    def stats(self):
+        with self._lock:
+            running = len(self._running)
+            total = len(self.jobs)
+        return {
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.capacity,
+            "running": running,
+            "max_concurrency": self.max_concurrency,
+            "jobs": total,
+            "aggregate": self.aggregate,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _emit_state(self, job, note=None):
+        event = {"event": "state", "job": job.id, "state": job.state,
+                 "error": job.error}
+        if note:
+            event["note"] = note
+        self.events[job.id].append(event)
+
+    def _begin(self, job):
+        """QUEUED -> RUNNING (or straight to CANCELLED); False to skip."""
+        with self._lock:
+            if job.cancel_requested:
+                if not job.terminal:
+                    job.transition(J.CANCELLED)
+                    self.store.save(job.to_record())
+                    self._emit_state(job, note="cancelled before start")
+                return False
+            job.transition(J.RUNNING)
+            self._running.add(job.id)
+        self.store.save(job.to_record())
+        self._emit_state(job)
+        return True
+
+    def _finish(self, job, state, result=None, report=None, error=None):
+        with self._lock:
+            job.result = result
+            job.report = report
+            job.error = error
+            job.transition(state)
+            self._running.discard(job.id)
+        self.store.save(job.to_record())
+        self._emit_state(job)
+
+    def _progress_cb(self, job):
+        def progress(done, total):
+            job.progress = {"done": int(done), "total": int(total)}
+            self.events[job.id].append(
+                {"event": "progress", "job": job.id, "done": int(done),
+                 "total": int(total)})
+        return progress
+
+    def _worker(self):
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.2)
+            if job is None:
+                continue
+            group = [job]
+            signature = (sweep_signature(job.spec) if self.aggregate
+                         else None)
+            if signature is not None and self.aggregate_limit > 1:
+                group += self.queue.take_matching(
+                    lambda other: sweep_signature(other.spec)
+                    == signature,
+                    self.aggregate_limit - 1)
+            try:
+                if len(group) == 1:
+                    self._run_single(job)
+                else:
+                    self._run_group(group)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                for member in group:
+                    if member.terminal:
+                        continue
+                    # a member that never began (e.g. _begin itself
+                    # blew up on a store write) is still QUEUED, and
+                    # QUEUED -> FAILED is not a legal edge
+                    if member.state == J.QUEUED:
+                        member.transition(J.RUNNING)
+                    self._finish(member, J.FAILED,
+                                 error="{}: {}".format(
+                                     type(exc).__name__, exc))
+
+    def _run_single(self, job):
+        if not self._begin(job):
+            return
+        sink = _JobTraceSink(self.events[job.id])
+        runtime = self.runtime_factory(trace=sink,
+                                       should_stop=job.should_stop)
+        try:
+            result, report = self.runner(job.spec, runtime,
+                                         self._progress_cb(job))
+        except CampaignCancelled:
+            self._finish(job, J.CANCELLED)
+        except Exception as exc:  # noqa: BLE001 - job failure taxonomy
+            self._finish(job, J.FAILED,
+                         error="{}: {}".format(type(exc).__name__, exc))
+        else:
+            self._finish(job, J.DONE, result=result, report=report)
+
+    def _run_group(self, group):
+        """One stacked lockstep run for a coalesced sweep group."""
+        from ..core.coverage import _sweep_chunk_task
+
+        live = []
+        for job in group:
+            if self._begin(job):
+                live.append(job)
+        if not live:
+            return
+        if len(live) == 1:
+            # every mate was cancelled before start; no point batching
+            job = live[0]
+            self._group_note([job], 1)
+            return self._run_job_body(job)
+        payloads, keys, offsets = build_group_payloads(
+            [job.spec for job in live], with_keys=self.cache_enabled)
+        self._group_note(live, len(live))
+        logs = [self.events[job.id] for job in live]
+        sink = _GroupTraceSink(logs, offsets)
+
+        def group_should_stop():
+            # Cancelling one member must not kill its batch mates:
+            # the group stops early only when *every* member asked to.
+            return all(job.cancel_requested for job in live)
+
+        runtime = self.runtime_factory(trace=sink,
+                                       should_stop=group_should_stop)
+        report = RunReport("sweep-group")
+
+        def progress(done, total):
+            for job in live:
+                self.events[job.id].append(
+                    {"event": "progress", "job": job.id,
+                     "scope": "group", "done": int(done),
+                     "total": int(total)})
+
+        try:
+            run = runtime.run_batched(
+                _sweep_chunk_task, payloads, keys=keys,
+                batch_size=group_batch_size([j.spec for j in live]),
+                label="sweep-group", report=report, progress=progress)
+        except CampaignCancelled:
+            for job in live:
+                self._finish(job, J.CANCELLED)
+            return
+        except Exception as exc:  # noqa: BLE001 - job failure taxonomy
+            for job in live:
+                self._finish(job, J.FAILED,
+                             error="{}: {}".format(type(exc).__name__,
+                                                   exc))
+            return
+        summary = report.summary()
+        summary["aggregated_jobs"] = [job.id for job in live]
+        per_job = split_group_values(run.values, offsets)
+        for job, rows, (start, end) in zip(live, per_job, offsets):
+            bad = [i - start for i in run.errors if start <= i < end]
+            if bad:
+                self._finish(job, J.FAILED, report=summary,
+                             error="samples {} failed".format(bad))
+            else:
+                result = {"rows": [[float(v) for v in row]
+                                   for row in rows],
+                          "resistances": list(job.spec["resistances"]),
+                          "n_samples": len(rows)}
+                self._finish(job, J.DONE, result=result, report=summary)
+
+    def _group_note(self, live, size):
+        for job in live:
+            self.events[job.id].append(
+                {"event": "aggregated", "job": job.id, "group_size": size,
+                 "group_jobs": [j.id for j in live]})
+
+    def _run_job_body(self, job):
+        """The post-_begin body of :meth:`_run_single` (already RUNNING)."""
+        sink = _JobTraceSink(self.events[job.id])
+        runtime = self.runtime_factory(trace=sink,
+                                       should_stop=job.should_stop)
+        try:
+            result, report = self.runner(job.spec, runtime,
+                                         self._progress_cb(job))
+        except CampaignCancelled:
+            self._finish(job, J.CANCELLED)
+        except Exception as exc:  # noqa: BLE001 - job failure taxonomy
+            self._finish(job, J.FAILED,
+                         error="{}: {}".format(type(exc).__name__, exc))
+        else:
+            self._finish(job, J.DONE, result=result, report=report)

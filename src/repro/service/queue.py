@@ -1,0 +1,112 @@
+"""Bounded priority FIFO queue for the job manager.
+
+Ordering: higher ``priority`` first, FIFO (submission order) within a
+priority level.  The queue is bounded: a full queue raises
+:class:`QueueFull` so the HTTP layer can answer ``429 Too Many
+Requests`` with a ``Retry-After`` hint instead of buffering without
+limit — backpressure is part of the API contract, not an accident.
+"""
+
+import heapq
+import itertools
+import threading
+
+
+class QueueFull(RuntimeError):
+    """The job queue is at capacity; resubmit after ``retry_after``."""
+
+    def __init__(self, capacity, retry_after=1.0):
+        super().__init__(
+            "job queue full ({} queued); retry in {:.0f}s".format(
+                capacity, retry_after))
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class PriorityJobQueue:
+    """Thread-safe bounded priority FIFO of :class:`Job` objects."""
+
+    def __init__(self, capacity=64):
+        self.capacity = max(1, int(capacity))
+        self._heap = []  # (-priority, seq, job)
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+
+    def __len__(self):
+        with self._cond:
+            return len(self._heap)
+
+    # ------------------------------------------------------------------
+
+    def put(self, job, force=False):
+        """Enqueue ``job``; raises :class:`QueueFull` at capacity.
+
+        ``force`` bypasses the capacity check — used only by restart
+        recovery, which must never drop jobs that were already
+        accepted by a previous server process.
+        """
+        with self._cond:
+            if not force and len(self._heap) >= self.capacity:
+                raise QueueFull(self.capacity,
+                                retry_after=self.retry_after_hint())
+            heapq.heappush(self._heap,
+                           (-int(job.priority), next(self._seq), job))
+            self._cond.notify()
+
+    def get(self, timeout=None):
+        """Pop the highest-priority job, or None on timeout."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._heap,
+                                       timeout=timeout):
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def remove(self, job_id):
+        """Remove a queued job by id; True when it was still queued.
+
+        The cancel path: a job that never started can go straight to
+        CANCELLED, but only one caller may win the race against the
+        worker that would dequeue it.
+        """
+        with self._cond:
+            for position, (_, _, job) in enumerate(self._heap):
+                if job.id == job_id:
+                    self._heap.pop(position)
+                    heapq.heapify(self._heap)
+                    return True
+            return False
+
+    def take_matching(self, predicate, limit):
+        """Atomically remove and return up to ``limit`` matching jobs.
+
+        The aggregator's drain: called by a worker that just dequeued
+        a batchable job to coalesce compatible queued jobs into the
+        same lockstep run.  Jobs are taken in queue (priority, FIFO)
+        order.
+        """
+        if limit <= 0:
+            return []
+        taken = []
+        with self._cond:
+            keep = []
+            for entry in sorted(self._heap):
+                if len(taken) < limit and predicate(entry[2]):
+                    taken.append(entry[2])
+                else:
+                    keep.append(entry)
+            if taken:
+                self._heap = keep
+                heapq.heapify(self._heap)
+        return taken
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Queued jobs in dispatch order (for listings; non-destructive)."""
+        with self._cond:
+            return [entry[2] for entry in sorted(self._heap)]
+
+    def retry_after_hint(self, seconds_per_job=1.0):
+        """A Retry-After suggestion scaled to the current backlog."""
+        with self._cond:
+            return max(1.0, len(self._heap) * float(seconds_per_job))

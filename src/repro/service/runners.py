@@ -1,0 +1,182 @@
+"""Spec execution: job specs -> experiment drivers -> JSON results.
+
+One function per job kind, all dispatched through
+:func:`execute_spec`.  Every runner routes its electrical work through
+the caller-provided :class:`~repro.runtime.Runtime`, which is where the
+service wires in the per-job telemetry scope (trace sink feeding the
+job's event stream), the shared result cache, and the cooperative
+``should_stop`` cancellation hook.  Heavy imports stay inside the
+functions so importing :mod:`repro.service` does not pull the whole
+electrical stack into processes that only submit jobs.
+"""
+
+from ..runtime import RunReport
+from .jobs import SpecError
+
+
+def execute_spec(spec, runtime, progress=None):
+    """Run a normalized job spec; returns ``(result, report_summary)``.
+
+    ``result`` is the kind-specific JSON-serialisable payload;
+    ``report_summary`` is the job's :class:`RunReport` summary dict
+    (None for kinds whose driver does not expose one).  Raises
+    :class:`~repro.runtime.CampaignCancelled` when the runtime's
+    ``should_stop`` fires mid-run.
+    """
+    kind = spec.get("kind")
+    if kind == "coverage":
+        return _run_coverage(spec, runtime)
+    if kind == "campaign":
+        return _run_campaign(spec, runtime, progress)
+    if kind == "transfer":
+        return _run_transfer(spec, runtime)
+    if kind == "sweep":
+        return _run_sweep(spec, runtime, progress)
+    raise SpecError("unknown job kind {!r}".format(kind))
+
+
+# ----------------------------------------------------------------------
+# coverage / transfer / campaign
+# ----------------------------------------------------------------------
+
+def _curves_payload(result):
+    return {label: {"resistances": curve.resistances,
+                    "hits": curve.hits,
+                    "coverage": curve.coverage}
+            for label, curve in result.curves.items()}
+
+
+def _run_coverage(spec, runtime):
+    from ..core.experiments import (ExperimentConfig,
+                                    run_bridging_coverage,
+                                    run_open_coverage)
+
+    config = ExperimentConfig.from_jsonable(spec.get("config"))
+    driver = (run_open_coverage if spec.get("fault", "open") == "open"
+              else run_bridging_coverage)
+    experiment = driver(config, runtime=runtime)
+    result = {
+        "fault": spec.get("fault", "open"),
+        "calibration": {
+            "omega_in": experiment.calibration.omega_in,
+            "omega_th": experiment.calibration.omega_th,
+            "t_star": experiment.dftest.t_star,
+        },
+        "pulse": _curves_payload(experiment.pulse),
+        "delay": _curves_payload(experiment.delay),
+    }
+    report = (experiment.report.summary()
+              if experiment.report is not None else None)
+    return result, report
+
+
+def _run_transfer(spec, runtime):
+    from ..core.experiments import (ExperimentConfig,
+                                    run_transfer_experiment)
+
+    config = ExperimentConfig.from_jsonable(spec.get("config"))
+    experiment = run_transfer_experiment(config, runtime=runtime)
+    curve = experiment.nominal_curve
+    result = {
+        "nominal": {"w_in": [float(w) for w in curve.w_in],
+                    "w_out": [float(w) for w in curve.w_out]},
+        "scatter": [{"w_in": float(w),
+                     "w_out": [float(v)
+                               for v in experiment.sample_wouts[w]],
+                     "spread": float(experiment.spread(w))}
+                    for w in experiment.probe_widths],
+    }
+    return result, None
+
+
+def _run_campaign(spec, runtime, progress):
+    from ..logic import (DefectCalibration, generate_c432_like,
+                         run_campaign)
+    from ..montecarlo import sample_population
+
+    fast = bool(spec.get("fast"))
+    calibration = DefectCalibration.from_electrical(
+        "external", [1e3, 4e3, 12e3, 40e3],
+        dt=5e-12 if fast else 3e-12, runtime=runtime)
+    netlist = generate_c432_like(seed=spec.get("seed", 432))
+    samples = sample_population(spec.get("samples", 5), base_seed=7)
+    result = run_campaign(netlist, calibration, samples=samples,
+                          site_stride=spec.get("stride", 2),
+                          site_limit=spec.get("sites"),
+                          runtime=runtime, progress=progress)
+    payload = dict(result.summary())
+    payload["coverage"] = [
+        {"resistance": r, "coverage": result.coverage_at(r)}
+        for r in (2e3, 5e3, 10e3, 20e3, 40e3)]
+    report = (result.report.summary()
+              if result.report is not None else None)
+    return payload, report
+
+
+# ----------------------------------------------------------------------
+# sweep (the dynamically batchable kind)
+# ----------------------------------------------------------------------
+
+def sweep_fault(spec):
+    """The fault prototype a sweep spec describes."""
+    from ..faults import (PULL_UP, BridgingFault, ExternalOpen,
+                          InternalOpen)
+
+    stage = spec.get("stage", 2)
+    resistance = spec["resistances"][0]
+    kind = spec.get("fault", "external_open")
+    if kind == "external_open":
+        return ExternalOpen(stage, resistance)
+    if kind == "internal_open":
+        return InternalOpen(stage, PULL_UP, resistance)
+    if kind == "bridging":
+        return BridgingFault(stage, resistance)
+    raise SpecError("unknown sweep fault {!r}".format(kind))
+
+
+def sweep_measure_spec(spec):
+    """The measurement kwargs of a sweep spec (pulse vs delay)."""
+    if spec.get("measure", "pulse") == "pulse":
+        return {"measure": "pulse",
+                "omega_in": float(spec.get("omega_in", 0.40e-9)),
+                "kind": spec.get("pulse_kind", "h")}
+    return {"measure": "delay",
+            "direction": spec.get("direction", "rise")}
+
+
+def sweep_payloads(spec, with_keys=True):
+    """Per-sample payloads + cache keys for one sweep spec.
+
+    Delegates to :func:`repro.core.coverage.build_sweep_payloads` so a
+    row computed by the service lands under exactly the same
+    content-addressed key as the same row computed by an in-process
+    coverage sweep — service and CLI share one cache.
+    """
+    from ..core.coverage import build_sweep_payloads
+    from ..montecarlo import sample_population
+
+    samples = sample_population(spec.get("n_samples", 4),
+                                base_seed=spec.get("seed", 1))
+    return build_sweep_payloads(
+        samples, sweep_fault(spec), spec["resistances"],
+        dt=spec.get("dt"), engine="batched",
+        adaptive=bool(spec.get("adaptive")), lte_tol=spec.get("lte_tol"),
+        with_keys=with_keys, **sweep_measure_spec(spec))
+
+
+def _run_sweep(spec, runtime, progress):
+    from ..core.coverage import _sweep_chunk_task
+
+    payloads, keys = sweep_payloads(
+        spec, with_keys=runtime.cache is not None)
+    report = RunReport("sweep")
+    run = runtime.run_batched(_sweep_chunk_task, payloads, keys=keys,
+                              batch_size=spec.get("batch_size"),
+                              label="sweep", report=report,
+                              progress=progress)
+    if run.errors:
+        raise run.errors[min(run.errors)]
+    result = {"rows": [[float(v) for v in row] for row in run.values],
+              "resistances": list(spec["resistances"]),
+              "n_samples": len(run.values)}
+    return result, report.summary()

@@ -1,0 +1,253 @@
+"""stdlib HTTP/JSON front-end for the job manager.
+
+Endpoints (all JSON, strict — NaN/Inf travel as tagged dicts via the
+:mod:`repro.runtime.cache` codec):
+
+========  =========================  =====================================
+Method    Path                       Meaning
+========  =========================  =====================================
+POST      /jobs                      submit ``{"spec": ..., "priority"}``
+                                     -> 201 job record; 400 bad spec;
+                                     429 + Retry-After when queue is full
+GET       /jobs                      list all job records
+GET       /jobs/<id>                 one job record (404 unknown)
+GET       /jobs/<id>/events          event log; ``?after=N`` skips past
+                                     events, ``?wait=S`` long-polls,
+                                     ``?stream=1`` switches to a chunked
+                                     ndjson live stream
+DELETE    /jobs/<id>                 cooperative cancel
+GET       /healthz                   liveness + queue stats
+========  =========================  =====================================
+
+Built on :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, HTTP/1.1 keep-alive) — no third-party dependency, which is
+a hard project constraint.  The event stream uses manual chunked
+transfer encoding: one JSON event per line, a heartbeat line when the
+job is quiet, terminated when the job reaches a terminal state and the
+log is drained.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..runtime.cache import decode_jsonable, encode_jsonable
+from .jobs import SpecError
+from .queue import QueueFull
+
+#: default long-poll / stream idle timeout bounds (seconds)
+MAX_WAIT = 30.0
+STREAM_HEARTBEAT = 5.0
+
+
+def _json_bytes(payload):
+    return (json.dumps(encode_jsonable(payload), sort_keys=True,
+                       allow_nan=False) + "\n").encode("utf-8")
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`JobManager`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.0"
+
+    # The manager is attached to the *server* object (one per server,
+    # shared by every handler thread).
+    @property
+    def manager(self):
+        return self.server.manager
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status, payload, headers=None):
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status, message, headers=None):
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return decode_jsonable(json.loads(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SpecError("invalid JSON body: {}".format(exc)) from exc
+
+    def _route(self):
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return segments, query
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        segments, query = self._route()
+        try:
+            if segments == ["healthz"]:
+                stats = self.manager.stats()
+                stats["status"] = "ok"
+                return self._send_json(200, stats)
+            if segments == ["jobs"]:
+                return self._send_json(200,
+                                       {"jobs": self.manager.list_jobs()})
+            if len(segments) == 2 and segments[0] == "jobs":
+                job = self.manager.get_job(segments[1])
+                return self._send_json(200, {"job": job.to_record()})
+            if (len(segments) == 3 and segments[0] == "jobs"
+                    and segments[2] == "events"):
+                return self._events(segments[1], query)
+            return self._error(404, "no such route {!r}".format(self.path))
+        except KeyError:
+            return self._error(404,
+                               "unknown job {!r}".format(segments[1]))
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        segments, _ = self._route()
+        if segments != ["jobs"]:
+            return self._error(404, "no such route {!r}".format(self.path))
+        try:
+            body = self._read_body()
+            spec = body.get("spec") if isinstance(body, dict) else None
+            if spec is None:
+                raise SpecError("body must be {'spec': {...}}")
+            priority = int(body.get("priority", 0))
+            job = self.manager.submit(spec, priority=priority)
+        except SpecError as exc:
+            return self._error(400, str(exc))
+        except QueueFull as exc:
+            return self._error(
+                429, str(exc),
+                headers={"Retry-After":
+                         str(int(round(exc.retry_after)))})
+        return self._send_json(201, {"job": job.to_record()})
+
+    def do_DELETE(self):  # noqa: N802 - stdlib casing
+        segments, _ = self._route()
+        if len(segments) != 2 or segments[0] != "jobs":
+            return self._error(404, "no such route {!r}".format(self.path))
+        try:
+            job = self.manager.cancel(segments[1])
+        except KeyError:
+            return self._error(404,
+                               "unknown job {!r}".format(segments[1]))
+        return self._send_json(200, {"job": job.to_record()})
+
+    # ------------------------------------------------------------------
+    # Events: long-poll + chunked ndjson stream
+    # ------------------------------------------------------------------
+
+    def _events(self, job_id, query):
+        job = self.manager.get_job(job_id)  # KeyError -> 404 upstream
+        after = int(query.get("after", -1))
+        if query.get("stream") in ("1", "true", "yes"):
+            return self._stream_events(job, after)
+        wait = min(float(query.get("wait", 0.0)), MAX_WAIT)
+        if job.terminal:
+            wait = 0.0  # nothing new will ever arrive; answer now
+        events = self.manager.events_since(job_id, after=after,
+                                           timeout=wait)
+        next_after = events[-1]["seq"] if events else after
+        return self._send_json(200, {
+            "job": job_id, "state": job.state,
+            "events": events, "next_after": next_after})
+
+    def _write_chunk(self, payload):
+        data = _json_bytes(payload)
+        self.wfile.write("{:x}\r\n".format(len(data)).encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _stream_events(self, job, after):
+        """Live ndjson via chunked transfer encoding.
+
+        Ends (with the zero-length terminator chunk) once the job is
+        terminal and every event has been delivered; emits heartbeat
+        lines while the job is quiet so proxies and clients can tell a
+        slow job from a dead connection.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            while True:
+                events = self.manager.events_since(
+                    job.id, after=after, timeout=STREAM_HEARTBEAT)
+                for event in events:
+                    self._write_chunk(event)
+                    after = event["seq"]
+                if job.terminal and not events:
+                    break
+                if not events:
+                    self._write_chunk({"event": "heartbeat",
+                                       "job": job.id,
+                                       "state": job.state})
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+        self.close_connection = True
+
+
+class JobServer:
+    """Owns a :class:`ThreadingHTTPServer` bound to the manager.
+
+    ``port=0`` binds an ephemeral port (tests); the resolved address
+    is available as :attr:`port` / :attr:`url` after construction.
+    """
+
+    def __init__(self, manager, host="127.0.0.1", port=0, verbose=False):
+        self.manager = manager
+        self.httpd = ThreadingHTTPServer((host, port),
+                                         ServiceRequestHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.manager = manager
+        self.httpd.verbose = verbose
+        self._thread = None
+
+    @property
+    def host(self):
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self):
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self):
+        return "http://{}:{}".format(self.host, self.port)
+
+    def serve_forever(self):
+        self.httpd.serve_forever(poll_interval=0.2)
+
+    def start_background(self):
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="job-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

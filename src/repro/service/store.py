@@ -1,0 +1,102 @@
+"""Durable job store: one JSON record per job under the data dir.
+
+Layout (under the service data dir, default ``.repro_service/``)::
+
+    jobs/<job id>.json     # schema-stamped job records (this module)
+    cache/                 # the shared runtime ResultCache + manifests
+
+Records are written atomically (temp file + ``os.replace``) on every
+state transition, so a killed server never leaves a torn record; a
+restarted server rebuilds its world from this directory — terminal
+jobs answer GETs without recomputation, and QUEUED/RUNNING records are
+re-queued (the runtime checkpoint under ``cache/`` turns their
+re-execution into a resume).
+
+Values are encoded with the strict-JSON codec of
+:mod:`repro.runtime.cache` so NaN measurement results (a dampened
+pulse has no width) survive the round trip.
+"""
+
+import json
+import os
+import tempfile
+
+from ..runtime.cache import decode_jsonable, encode_jsonable
+from ..runtime.schema import check_schema_version
+
+
+class JobStore:
+    """Atomic per-job JSON records under ``<root>/jobs/``."""
+
+    def __init__(self, root):
+        self.root = str(root)
+
+    @property
+    def jobs_dir(self):
+        return os.path.join(self.root, "jobs")
+
+    def path(self, job_id):
+        return os.path.join(self.jobs_dir, str(job_id) + ".json")
+
+    # ------------------------------------------------------------------
+
+    def save(self, record):
+        """Atomically (re)write one job record."""
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        path = self.path(record["id"])
+        fd, tmp = tempfile.mkstemp(dir=self.jobs_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(encode_jsonable(record), handle,
+                          sort_keys=True, allow_nan=False)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, job_id):
+        """One stored record (schema-checked); raises ``KeyError``."""
+        try:
+            with open(self.path(job_id)) as handle:
+                record = decode_jsonable(json.load(handle))
+        except OSError:
+            raise KeyError(job_id) from None
+        return check_schema_version(record,
+                                    what="job record {}".format(job_id))
+
+    def load_all(self):
+        """Every stored record, oldest submission first.
+
+        Records that fail to parse are skipped (a torn ``.tmp`` file
+        or foreign junk must not brick the whole server on boot);
+        schema-incompatible records *raise* — silently dropping jobs a
+        future tree wrote would look like data loss.
+        """
+        if not os.path.isdir(self.jobs_dir):
+            return []
+        records = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path) as handle:
+                    record = decode_jsonable(json.load(handle))
+            except (OSError, ValueError):
+                continue
+            records.append(check_schema_version(
+                record, what="job record {}".format(name)))
+        records.sort(key=lambda r: r.get("submitted_at") or 0.0)
+        return records
+
+    def delete(self, job_id):
+        try:
+            os.unlink(self.path(job_id))
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self):
+        return "JobStore({!r})".format(self.root)

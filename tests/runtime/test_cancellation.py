@@ -1,0 +1,133 @@
+"""Cooperative cancellation of Runtime.run / run_batched.
+
+The contract behind ``DELETE /jobs/<id>``: a cancelled campaign raises
+:class:`CampaignCancelled` between settled tasks, keeps every settled
+result in the cache, and leaves a *flushed* checkpoint manifest — so
+re-running the same campaign resumes instead of restarting.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import (CampaignCancelled, ProcessPoolExecutor,
+                           ResultCache, Runtime, SerialExecutor,
+                           stable_hash)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _double_chunk(xs):
+    return [2 * x for x in xs]
+
+
+def _keys(payloads):
+    return [stable_hash("cancel-test", p) for p in payloads]
+
+
+class _StopAfter:
+    """should_stop() that flips true after N polls."""
+
+    def __init__(self, after):
+        self.after = after
+        self.polls = 0
+
+    def __call__(self):
+        self.polls += 1
+        return self.polls > self.after
+
+
+class TestRunCancellation:
+    def test_cancel_before_dispatch(self):
+        runtime = Runtime()
+        with pytest.raises(CampaignCancelled):
+            runtime.run(_double, [1, 2, 3], should_stop=lambda: True)
+
+    def test_cancel_mid_run_keeps_settled_results(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runtime = Runtime(cache=cache, checkpoint_every=100)
+        payloads = list(range(6))
+        keys = _keys(payloads)
+        stop = _StopAfter(2)
+        with pytest.raises(CampaignCancelled) as exc_info:
+            runtime.run(_double, payloads, keys=keys, should_stop=stop)
+        assert exc_info.value.done == 2
+        # the two settled tasks are cached ...
+        assert cache.get(keys[0]) == 0
+        assert cache.get(keys[1]) == 2
+        # ... and the manifest was flushed despite checkpoint_every=100
+        manifests = os.listdir(os.path.join(str(tmp_path), "manifests"))
+        assert len(manifests) == 1
+        with open(os.path.join(str(tmp_path), "manifests",
+                               manifests[0])) as handle:
+            manifest = json.load(handle)
+        assert sorted(manifest["completed"]) == sorted(keys[:2])
+
+    def test_cancelled_run_resumes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payloads = list(range(5))
+        keys = _keys(payloads)
+        runtime = Runtime(cache=cache)
+        with pytest.raises(CampaignCancelled):
+            runtime.run(_double, payloads, keys=keys,
+                        should_stop=_StopAfter(3))
+        run = Runtime(cache=cache).run(_double, payloads, keys=keys)
+        assert run.values == [0, 2, 4, 6, 8]
+        assert run.report.cache_hits == 3
+        assert run.report.cache_misses == 2
+
+    def test_runtime_level_should_stop(self):
+        runtime = Runtime(should_stop=lambda: True)
+        with pytest.raises(CampaignCancelled):
+            runtime.run(_double, [1, 2])
+        # per-call override wins
+        run = runtime.run(_double, [1, 2], should_stop=lambda: False)
+        assert run.values == [2, 4]
+
+    def test_no_should_stop_unchanged(self):
+        run = Runtime().run(_double, [1, 2, 3])
+        assert run.values == [2, 4, 6]
+
+
+class TestRunBatchedCancellation:
+    def test_cancel_between_chunks(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runtime = Runtime(cache=cache, checkpoint_every=100)
+        payloads = list(range(8))
+        keys = _keys(payloads)
+        with pytest.raises(CampaignCancelled):
+            runtime.run_batched(_double_chunk, payloads, keys=keys,
+                                batch_size=2, should_stop=_StopAfter(1))
+        # the first chunk's items were settled and cached per item
+        assert cache.get(keys[0]) == 0
+        assert cache.get(keys[1]) == 2
+        # resume completes only the remaining chunks
+        run = Runtime(cache=cache).run_batched(
+            _double_chunk, payloads, keys=keys, batch_size=2)
+        assert run.values == [2 * p for p in payloads]
+        assert run.report.cache_hits == 2
+
+    def test_cancel_with_process_pool(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        executor = ProcessPoolExecutor(n_jobs=2, retries=0)
+        runtime = Runtime(executor=executor, cache=cache)
+        payloads = list(range(8))
+        with pytest.raises(CampaignCancelled):
+            runtime.run(_double, payloads, keys=_keys(payloads),
+                        should_stop=_StopAfter(1))
+
+
+class TestSerialExecutorPropagation:
+    def test_on_result_exception_propagates(self):
+        class Boom(RuntimeError):
+            pass
+
+        def on_result(outcome):
+            raise Boom()
+
+        with pytest.raises(Boom):
+            SerialExecutor().map_tasks(_double, [1, 2],
+                                       on_result=on_result)

@@ -1,0 +1,74 @@
+"""Sweep coalescing: signatures, group payloads, result splitting."""
+
+import pytest
+
+from repro.service import compatible, normalize_spec, sweep_signature
+from repro.service.aggregator import (build_group_payloads,
+                                      group_batch_size,
+                                      split_group_values)
+
+
+def sweep(**overrides):
+    spec = {"kind": "sweep", "fault": "external_open",
+            "resistances": [2e3, 8e3], "n_samples": 2}
+    spec.update(overrides)
+    return normalize_spec(spec)
+
+
+class TestSignature:
+    def test_non_sweep_has_no_signature(self):
+        assert sweep_signature(normalize_spec({"kind": "campaign"})) is None
+
+    def test_seed_and_samples_do_not_split_groups(self):
+        assert compatible(sweep(seed=1, n_samples=2),
+                          sweep(seed=9, n_samples=7))
+
+    def test_batch_size_does_not_split_groups(self):
+        assert compatible(sweep(batch_size=4), sweep(batch_size=16))
+
+    @pytest.mark.parametrize("change", [
+        {"fault": "bridging"},
+        {"stage": 3},
+        {"resistances": [2e3]},
+        {"dt": 7e-12},
+        {"adaptive": True},
+        {"measure": "delay"},
+        {"omega_in": 0.3e-9},
+    ])
+    def test_engine_relevant_fields_split_groups(self, change):
+        assert not compatible(sweep(), sweep(**change))
+
+
+class TestGroupPayloads:
+    def test_offsets_partition_the_concatenation(self):
+        specs = [sweep(seed=1, n_samples=2), sweep(seed=2, n_samples=3)]
+        payloads, keys, offsets = build_group_payloads(specs)
+        assert offsets == [(0, 2), (2, 5)]
+        assert len(payloads) == 5
+        assert len(keys) == 5
+        # one payload per Monte Carlo sample, each carrying the grid
+        assert all(p["resistances"] == [2e3, 8e3] for p in payloads)
+
+    def test_group_keys_match_solo_keys(self):
+        """Coalescing must not change what lands in the cache."""
+        specs = [sweep(seed=1), sweep(seed=2)]
+        _, group_keys, offsets = build_group_payloads(specs)
+        from repro.service.runners import sweep_payloads
+        for spec, (start, end) in zip(specs, offsets):
+            _, solo_keys = sweep_payloads(spec, with_keys=True)
+            assert group_keys[start:end] == solo_keys
+
+    def test_split_round_trips(self):
+        values = ["a", "b", "c", "d", "e"]
+        offsets = [(0, 2), (2, 5)]
+        assert split_group_values(values, offsets) == [
+            ["a", "b"], ["c", "d", "e"]]
+
+
+class TestGroupBatchSize:
+    def test_largest_request_wins(self):
+        assert group_batch_size(
+            [sweep(batch_size=4), sweep(batch_size=16), sweep()]) == 16
+
+    def test_default_when_nobody_asks(self):
+        assert group_batch_size([sweep(), sweep()], default=8) == 8

@@ -1,0 +1,101 @@
+"""Job specs, the state machine, and record round-trips."""
+
+import pytest
+
+import repro.service.jobs as J
+from repro.runtime import SchemaVersionError
+from repro.service import InvalidTransition, Job, SpecError, normalize_spec
+
+
+class TestNormalizeSpec:
+    def test_sweep_defaults(self):
+        spec = normalize_spec({"kind": "sweep",
+                               "resistances": [2e3, 8e3]})
+        assert spec["fault"] == "external_open"
+        assert spec["measure"] == "pulse"
+        assert spec["resistances"] == [2000.0, 8000.0]
+        assert spec["dt"] == pytest.approx(5e-12)
+
+    def test_sweep_requires_resistances(self):
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "sweep"})
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "sweep", "resistances": []})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "nuclear"})
+        with pytest.raises(SpecError):
+            normalize_spec("not a dict")
+
+    def test_unknown_sweep_fault_rejected(self):
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "sweep", "fault": "rust",
+                            "resistances": [1e3]})
+
+    def test_coverage_config_validated(self):
+        spec = normalize_spec({"kind": "coverage", "fault": "open",
+                               "config": {"n_samples": 3}})
+        assert spec["config"]["n_samples"] == 3
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "coverage",
+                            "config": {"no_such_knob": 1}})
+
+    def test_campaign_defaults(self):
+        spec = normalize_spec({"kind": "campaign"})
+        assert spec["samples"] == 5
+        assert spec["fast"] is False
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = Job(normalize_spec({"kind": "campaign"}))
+        assert job.state == J.QUEUED
+        job.transition(J.RUNNING)
+        assert job.started_at is not None
+        job.transition(J.DONE)
+        assert job.terminal
+        assert job.finished_at is not None
+
+    def test_illegal_transitions_rejected(self):
+        job = Job(normalize_spec({"kind": "campaign"}))
+        with pytest.raises(InvalidTransition):
+            job.transition(J.DONE)  # QUEUED -> DONE skips RUNNING
+        job.transition(J.RUNNING)
+        job.transition(J.FAILED)
+        with pytest.raises(InvalidTransition):
+            job.transition(J.RUNNING)  # terminal states are final
+
+    def test_cancel_flag_is_cooperative(self):
+        job = Job(normalize_spec({"kind": "campaign"}))
+        assert not job.should_stop()
+        job.request_cancel()
+        assert job.should_stop()
+        assert job.state == J.QUEUED  # the flag alone changes nothing
+
+
+class TestRecords:
+    def test_round_trip(self):
+        job = Job(normalize_spec({"kind": "sweep",
+                                  "resistances": [2e3]}), priority=3)
+        job.transition(J.RUNNING)
+        job.transition(J.DONE)
+        job.result = {"rows": [[1.0]]}
+        record = job.to_record()
+        assert record["schema_version"]
+        clone = Job.from_record(record)
+        assert clone.id == job.id
+        assert clone.state == J.DONE
+        assert clone.priority == 3
+        assert clone.result == {"rows": [[1.0]]}
+
+    def test_future_major_rejected(self):
+        record = Job(normalize_spec({"kind": "campaign"})).to_record()
+        record["schema_version"] = "99.0"
+        with pytest.raises(SchemaVersionError):
+            Job.from_record(record)
+
+    def test_ids_unique(self):
+        spec = normalize_spec({"kind": "campaign"})
+        ids = {Job(spec).id for _ in range(50)}
+        assert len(ids) == 50

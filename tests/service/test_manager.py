@@ -1,0 +1,316 @@
+"""Job manager: scheduling, events, cancellation, recovery.
+
+These tests inject stub runners, so no electrical simulation runs;
+the real-spec execution paths are covered by ``test_service_e2e.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.service.jobs as J
+from repro.runtime import CampaignCancelled
+from repro.service import JobManager, QueueFull
+
+CAMPAIGN = {"kind": "campaign", "samples": 1}
+
+
+def wait_for(predicate, timeout=10.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+def wait_terminal(manager, job_id, timeout=10.0):
+    assert wait_for(lambda: manager.get_job(job_id).terminal,
+                    timeout=timeout), (
+        "job {} stuck in {}".format(job_id,
+                                    manager.get_job(job_id).state))
+    return manager.get_job(job_id)
+
+
+@pytest.fixture
+def make_manager(tmp_path):
+    managers = []
+
+    def factory(runner, **kwargs):
+        kwargs.setdefault("data_dir", str(tmp_path / "svc"))
+        kwargs.setdefault("cache", False)
+        kwargs.setdefault("aggregate", False)
+        kwargs.setdefault("max_concurrency", 1)
+        manager = JobManager(runner=runner, **kwargs)
+        managers.append(manager)
+        return manager
+
+    yield factory
+    for manager in managers:
+        manager.stop(wait=True, cancel_running=True)
+
+
+class TestLifecycle:
+    def test_submit_run_done(self, make_manager):
+        def runner(spec, runtime, progress):
+            progress(1, 1)
+            runtime.trace.emit({"event": "task", "index": 0,
+                                "newton_solves": 7})
+            return {"answer": spec["samples"]}, {"n_tasks": 1}
+
+        manager = make_manager(runner).start()
+        job = manager.submit(CAMPAIGN)
+        record = wait_terminal(manager, job.id).to_record()
+        assert record["state"] == J.DONE
+        assert record["result"] == {"answer": 1}
+        assert record["report"] == {"n_tasks": 1}
+        names = [e["event"] for e in manager.events_since(job.id)]
+        assert names == ["state", "state", "progress", "task", "state"]
+        # the terminal record is on disk, not just in memory
+        assert manager.store.load(job.id)["state"] == J.DONE
+
+    def test_runner_exception_fails_job(self, make_manager):
+        def runner(spec, runtime, progress):
+            raise ValueError("solver exploded")
+
+        manager = make_manager(runner).start()
+        job = manager.submit(CAMPAIGN)
+        final = wait_terminal(manager, job.id)
+        assert final.state == J.FAILED
+        assert "solver exploded" in final.error
+
+    def test_priority_order(self, make_manager):
+        release = threading.Event()
+        order = []
+
+        def runner(spec, runtime, progress):
+            if spec.get("sites") == 3:
+                release.wait(10.0)
+            else:
+                order.append(spec["sites"])
+            return {}, None
+
+        manager = make_manager(runner).start()
+        blocker = manager.submit(dict(CAMPAIGN, sites=3))
+        wait_for(lambda: manager.get_job(blocker.id).state == J.RUNNING)
+        low = manager.submit(dict(CAMPAIGN, sites=1), priority=0)
+        high = manager.submit(dict(CAMPAIGN, sites=2), priority=9)
+        release.set()
+        wait_terminal(manager, low.id)
+        wait_terminal(manager, high.id)
+        assert order == [2, 1]
+
+    def test_backpressure(self, make_manager):
+        hold = threading.Event()
+
+        def runner(spec, runtime, progress):
+            hold.wait(10.0)
+            return {}, None
+
+        manager = make_manager(runner, queue_capacity=1).start()
+        running = manager.submit(CAMPAIGN)
+        wait_for(lambda: manager.get_job(running.id).state == J.RUNNING)
+        manager.submit(CAMPAIGN)  # fills the queue
+        with pytest.raises(QueueFull) as err:
+            manager.submit(CAMPAIGN)
+        assert err.value.retry_after >= 1.0
+        hold.set()
+
+
+class TestCancellation:
+    def test_cancel_queued_never_runs(self, make_manager):
+        hold = threading.Event()
+        ran = []
+
+        def runner(spec, runtime, progress):
+            ran.append(spec.get("sites"))
+            hold.wait(10.0)
+            return {}, None
+
+        manager = make_manager(runner).start()
+        blocker = manager.submit(dict(CAMPAIGN, sites=3))
+        wait_for(lambda: manager.get_job(blocker.id).state == J.RUNNING)
+        queued = manager.submit(dict(CAMPAIGN, sites=1))
+        cancelled = manager.cancel(queued.id)
+        assert cancelled.state == J.CANCELLED
+        hold.set()
+        wait_terminal(manager, blocker.id)
+        assert ran == [3]
+
+    def test_cancel_running_is_cooperative(self, make_manager):
+        started = threading.Event()
+
+        def runner(spec, runtime, progress):
+            started.set()
+            while not runtime.should_stop():
+                time.sleep(0.01)
+            raise CampaignCancelled("campaign", done=3, total=10)
+
+        manager = make_manager(runner).start()
+        job = manager.submit(CAMPAIGN)
+        assert started.wait(10.0)
+        manager.cancel(job.id)
+        final = wait_terminal(manager, job.id)
+        assert final.state == J.CANCELLED
+
+    def test_cancel_terminal_is_noop(self, make_manager):
+        manager = make_manager(lambda s, r, p: ({}, None)).start()
+        job = manager.submit(CAMPAIGN)
+        wait_terminal(manager, job.id)
+        assert manager.cancel(job.id).state == J.DONE
+
+
+class TestEvents:
+    def test_long_poll_wakes_on_event(self, make_manager):
+        gate = threading.Event()
+
+        def runner(spec, runtime, progress):
+            gate.wait(10.0)
+            return {}, None
+
+        manager = make_manager(runner).start()
+        job = manager.submit(CAMPAIGN)
+        wait_for(lambda: len(manager.events_since(job.id)) >= 2)
+        seen = manager.events_since(job.id)
+        after = seen[-1]["seq"]
+
+        def release():
+            time.sleep(0.1)
+            gate.set()
+
+        threading.Thread(target=release, daemon=True).start()
+        t0 = time.monotonic()
+        fresh = manager.events_since(job.id, after=after, timeout=8.0)
+        assert fresh, "long-poll returned empty"
+        assert time.monotonic() - t0 < 5.0  # woke early, not at timeout
+        assert fresh[0]["seq"] == after + 1
+
+    def test_unknown_job_raises(self, make_manager):
+        manager = make_manager(lambda s, r, p: ({}, None))
+        with pytest.raises(KeyError):
+            manager.events_since("nope")
+        with pytest.raises(KeyError):
+            manager.get_job("nope")
+
+
+class TestRecovery:
+    def test_interrupted_jobs_requeue_on_restart(self, make_manager,
+                                                 tmp_path):
+        data_dir = str(tmp_path / "svc")
+        first = JobManager(data_dir=data_dir, cache=False,
+                           runner=lambda s, r, p: ({}, None))
+        # submitted but the manager never started: the record is
+        # durable QUEUED, exactly like a server killed mid-backlog
+        job = first.submit(CAMPAIGN)
+
+        manager = make_manager(lambda s, r, p: ({"ok": 1}, None),
+                               data_dir=data_dir).start()
+        final = wait_terminal(manager, job.id)
+        assert final.state == J.DONE
+        assert final.resumed is True
+        assert final.result == {"ok": 1}
+
+    def test_terminal_jobs_served_without_rerun(self, make_manager,
+                                                tmp_path):
+        data_dir = str(tmp_path / "svc")
+        ran = []
+
+        def runner(spec, runtime, progress):
+            ran.append(1)
+            return {"ok": 1}, None
+
+        first = make_manager(runner, data_dir=data_dir).start()
+        job = first.submit(CAMPAIGN)
+        wait_terminal(first, job.id)
+        first.stop()
+
+        second = make_manager(runner, data_dir=data_dir).start()
+        record = second.get_job(job.id)
+        assert record.state == J.DONE
+        assert record.result == {"ok": 1}
+        assert ran == [1]  # the restart did not re-execute anything
+
+    def test_submit_before_start_runs_once(self, make_manager):
+        ran = []
+
+        def runner(spec, runtime, progress):
+            ran.append(spec["samples"])
+            return {}, None
+
+        manager = make_manager(runner)
+        job = manager.submit(CAMPAIGN)
+        manager.start()  # recovery must not double-queue it
+        wait_terminal(manager, job.id)
+        time.sleep(0.2)
+        assert ran == [1]
+
+
+class TestAggregation:
+    """Real (tiny) sweeps: the group path runs the actual batch task."""
+
+    SWEEP = {"kind": "sweep", "fault": "external_open", "stage": 2,
+             "resistances": [2e3], "n_samples": 1, "dt": 6e-12}
+
+    def test_compatible_sweeps_coalesce(self, make_manager):
+        manager = make_manager(None, aggregate=True, aggregate_limit=4)
+        jobs = [manager.submit(dict(self.SWEEP, seed=s))
+                for s in (1, 2, 3)]
+        manager.start()
+        finals = [wait_terminal(manager, j.id, timeout=120.0)
+                  for j in jobs]
+        assert all(f.state == J.DONE for f in finals)
+        group = finals[0].report["aggregated_jobs"]
+        assert sorted(group) == sorted(j.id for j in jobs)
+        for final in finals:
+            assert len(final.result["rows"]) == 1
+            assert final.report["aggregated_jobs"] == group
+
+    def test_incompatible_sweeps_run_alone(self, make_manager):
+        manager = make_manager(None, aggregate=True)
+        a = manager.submit(dict(self.SWEEP, seed=1))
+        b = manager.submit(dict(self.SWEEP, seed=2, dt=7e-12))
+        manager.start()
+        final_a = wait_terminal(manager, a.id, timeout=120.0)
+        final_b = wait_terminal(manager, b.id, timeout=120.0)
+        assert "aggregated_jobs" not in (final_a.report or {})
+        assert "aggregated_jobs" not in (final_b.report or {})
+
+    def test_cancelled_member_excluded_from_group(self, make_manager):
+        manager = make_manager(None, aggregate=True, aggregate_limit=4)
+        keep = [manager.submit(dict(self.SWEEP, seed=s)) for s in (1, 2)]
+        doomed = manager.submit(dict(self.SWEEP, seed=3))
+        manager.cancel(doomed.id)
+        manager.start()
+        finals = [wait_terminal(manager, j.id, timeout=120.0)
+                  for j in keep]
+        assert manager.get_job(doomed.id).state == J.CANCELLED
+        group = finals[0].report["aggregated_jobs"]
+        assert doomed.id not in group
+        assert sorted(group) == sorted(j.id for j in keep)
+
+
+class TestWorkerResilience:
+    def test_worker_survives_store_failure(self, make_manager):
+        """A store write blowing up mid-dispatch must fail the job,
+        not kill the worker thread."""
+        manager = make_manager(lambda s, r, p: ({"ok": 1}, None))
+        real_save = manager.store.save
+        doomed_ids = set()
+
+        def flaky_save(record):
+            if record["id"] in doomed_ids and \
+                    record["state"] == J.RUNNING:
+                raise OSError("disk full")
+            return real_save(record)
+
+        manager.store.save = flaky_save
+        manager.start()
+        doomed = manager.submit(CAMPAIGN)
+        doomed_ids.add(doomed.id)
+        final = wait_terminal(manager, doomed.id)
+        assert final.state == J.FAILED
+        assert "disk full" in final.error
+        # the worker is still alive and serves the next job
+        healthy = manager.submit(CAMPAIGN)
+        assert wait_terminal(manager, healthy.id).state == J.DONE

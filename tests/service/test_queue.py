@@ -1,0 +1,84 @@
+"""Bounded priority FIFO queue semantics."""
+
+import pytest
+
+from repro.service import PriorityJobQueue, QueueFull
+
+
+class FakeJob:
+    def __init__(self, job_id, priority=0):
+        self.id = job_id
+        self.priority = priority
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        queue = PriorityJobQueue()
+        for name in "abc":
+            queue.put(FakeJob(name))
+        assert [queue.get(0).id for _ in "abc"] == ["a", "b", "c"]
+
+    def test_higher_priority_first(self):
+        queue = PriorityJobQueue()
+        queue.put(FakeJob("low", 0))
+        queue.put(FakeJob("high", 5))
+        queue.put(FakeJob("mid", 2))
+        order = [queue.get(0).id for _ in range(3)]
+        assert order == ["high", "mid", "low"]
+
+    def test_get_timeout_returns_none(self):
+        assert PriorityJobQueue().get(timeout=0.01) is None
+
+    def test_snapshot_is_dispatch_order(self):
+        queue = PriorityJobQueue()
+        queue.put(FakeJob("b", 0))
+        queue.put(FakeJob("a", 9))
+        assert [j.id for j in queue.snapshot()] == ["a", "b"]
+        assert len(queue) == 2  # non-destructive
+
+
+class TestBackpressure:
+    def test_capacity_enforced(self):
+        queue = PriorityJobQueue(capacity=2)
+        queue.put(FakeJob("a"))
+        queue.put(FakeJob("b"))
+        with pytest.raises(QueueFull) as err:
+            queue.put(FakeJob("c"))
+        assert err.value.retry_after >= 1.0
+
+    def test_force_bypasses_capacity(self):
+        queue = PriorityJobQueue(capacity=1)
+        queue.put(FakeJob("a"))
+        queue.put(FakeJob("recovered"), force=True)
+        assert len(queue) == 2
+
+    def test_retry_after_scales_with_backlog(self):
+        queue = PriorityJobQueue(capacity=10)
+        for n in range(5):
+            queue.put(FakeJob(str(n)))
+        assert queue.retry_after_hint(seconds_per_job=2.0) == 10.0
+
+
+class TestRemoval:
+    def test_remove_queued(self):
+        queue = PriorityJobQueue()
+        queue.put(FakeJob("a"))
+        queue.put(FakeJob("b"))
+        assert queue.remove("a") is True
+        assert queue.remove("a") is False  # already gone
+        assert queue.get(0).id == "b"
+
+    def test_take_matching_in_order_with_limit(self):
+        queue = PriorityJobQueue()
+        for name, priority in (("a", 0), ("b", 5), ("c", 0), ("d", 5)):
+            queue.put(FakeJob(name, priority))
+        taken = queue.take_matching(lambda j: j.priority == 5, limit=1)
+        assert [j.id for j in taken] == ["b"]  # FIFO among matches
+        rest = [queue.get(0).id for _ in range(3)]
+        assert rest == ["d", "a", "c"]
+
+    def test_take_matching_zero_limit(self):
+        queue = PriorityJobQueue()
+        queue.put(FakeJob("a"))
+        assert queue.take_matching(lambda j: True, limit=0) == []
+        assert len(queue) == 1

@@ -1,0 +1,231 @@
+"""HTTP layer + client SDK against a stub-runner manager.
+
+One server fixture per class of tests; runners are stubs so the suite
+exercises routing, status codes, backpressure and streaming without
+electrical simulation.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.service.jobs as J
+from repro.service import (JobManager, JobServer, ServiceClient,
+                           ServiceError, ServiceUnavailable)
+
+CAMPAIGN = {"kind": "campaign", "samples": 1}
+
+
+@pytest.fixture
+def service(tmp_path):
+    """(manager, server, client) with a controllable stub runner."""
+    hold = threading.Event()
+    behaviors = {}
+
+    def runner(spec, runtime, progress):
+        mode = spec.get("sites")
+        if mode == 99:
+            hold.wait(15.0)
+        if mode == 13:
+            raise RuntimeError("boom")
+        progress(1, 1)
+        return {"ok": True}, {"n_tasks": 1}
+
+    manager = JobManager(data_dir=str(tmp_path / "svc"), cache=False,
+                         aggregate=False, max_concurrency=1,
+                         queue_capacity=2, runner=runner).start()
+    server = JobServer(manager).start_background()
+    client = ServiceClient(server.url, timeout=15.0)
+    behaviors["hold"] = hold
+    yield manager, server, client, behaviors
+    hold.set()
+    server.shutdown()
+    manager.stop(wait=True, cancel_running=True)
+
+
+class TestEndpoints:
+    def test_health(self, service):
+        _, _, client, _ = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["max_concurrency"] == 1
+
+    def test_submit_and_get(self, service):
+        _, _, client, _ = service
+        record = client.submit(CAMPAIGN)
+        assert record["state"] in (J.QUEUED, J.RUNNING)
+        final = client.wait(record["id"], poll=0.05, timeout=10.0)
+        assert final["state"] == J.DONE
+        assert final["result"] == {"ok": True}
+        assert final["schema_version"]
+
+    def test_list_jobs(self, service):
+        _, _, client, _ = service
+        record = client.submit(CAMPAIGN)
+        ids = [r["id"] for r in client.jobs()]
+        assert record["id"] in ids
+
+    def test_bad_spec_is_400(self, service):
+        _, _, client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "nuclear"})
+        assert err.value.status == 400
+
+    def test_missing_spec_is_400(self, service):
+        _, server, _, _ = service
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b'{"no_spec": 1}',
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_unknown_job_is_404(self, service):
+        _, _, client, _ = service
+        for call in (lambda: client.job("nope"),
+                     lambda: client.cancel("nope"),
+                     lambda: client.events("nope")):
+            with pytest.raises(ServiceError) as err:
+                call()
+            assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        _, _, client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/frobnicate")
+        assert err.value.status == 404
+
+    def test_failed_job_reports_error(self, service):
+        _, _, client, _ = service
+        record = client.submit(dict(CAMPAIGN, sites=13))
+        final = client.wait(record["id"], poll=0.05, timeout=10.0)
+        assert final["state"] == J.FAILED
+        assert "boom" in final["error"]
+
+
+class TestBackpressure:
+    def test_429_with_retry_after(self, service):
+        manager, _, client, behaviors = service
+        blocker = client.submit(dict(CAMPAIGN, sites=99))
+        deadline = time.monotonic() + 5.0
+        while (client.job(blocker["id"])["state"] != J.RUNNING
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        client.submit(CAMPAIGN)
+        client.submit(CAMPAIGN)  # capacity 2 reached
+        with pytest.raises(ServiceUnavailable) as err:
+            client.submit(CAMPAIGN)
+        assert err.value.status == 429
+        assert err.value.retry_after >= 1.0
+        behaviors["hold"].set()
+
+    def test_submit_retrying_eventually_lands(self, service):
+        manager, _, client, behaviors = service
+        blocker = client.submit(dict(CAMPAIGN, sites=99))
+        client.submit(CAMPAIGN)
+        client.submit(CAMPAIGN)
+
+        def release():
+            time.sleep(0.3)
+            behaviors["hold"].set()
+
+        threading.Thread(target=release, daemon=True).start()
+        record = client.submit_retrying(CAMPAIGN, attempts=20)
+        assert record["id"]
+
+
+class TestCancellation:
+    def test_delete_cancels_queued(self, service):
+        _, _, client, behaviors = service
+        blocker = client.submit(dict(CAMPAIGN, sites=99))
+        queued = client.submit(CAMPAIGN)
+        cancelled = client.cancel(queued["id"])
+        assert cancelled["state"] == J.CANCELLED
+        behaviors["hold"].set()
+        final = client.wait(blocker["id"], poll=0.05, timeout=10.0)
+        assert final["state"] == J.DONE
+
+
+class TestEvents:
+    def test_long_poll_shape(self, service):
+        _, _, client, _ = service
+        record = client.submit(CAMPAIGN)
+        client.wait(record["id"], poll=0.05, timeout=10.0)
+        response = client.events(record["id"])
+        assert response["state"] == J.DONE
+        names = [e["event"] for e in response["events"]]
+        assert names[0] == "state" and names[-1] == "state"
+        assert response["next_after"] == len(response["events"]) - 1
+        # a second poll past the end returns nothing, immediately
+        again = client.events(record["id"],
+                              after=response["next_after"], wait=5.0)
+        assert again["events"] == []
+
+    def test_stream_terminates_after_terminal(self, service):
+        _, _, client, _ = service
+        record = client.submit(CAMPAIGN)
+        client.wait(record["id"], poll=0.05, timeout=10.0)
+        events = list(client.stream_events(record["id"]))
+        names = [e["event"] for e in events]
+        assert names[-1] == "state"
+        assert events[-1]["state"] == J.DONE
+        # seq numbering is contiguous from the start
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_stream_follows_live_job(self, service):
+        _, _, client, behaviors = service
+        record = client.submit(dict(CAMPAIGN, sites=99))
+        collected = []
+
+        def consume():
+            for event in client.stream_events(record["id"]):
+                collected.append(event)
+
+        reader = threading.Thread(target=consume, daemon=True)
+        reader.start()
+        time.sleep(0.3)
+        behaviors["hold"].set()
+        reader.join(timeout=15.0)
+        assert not reader.is_alive(), "stream never terminated"
+        assert collected[-1]["event"] == "state"
+        assert collected[-1]["state"] == J.DONE
+
+    def test_watch_returns_final_record(self, service):
+        _, _, client, _ = service
+        record = client.submit(CAMPAIGN)
+        seen = []
+        final = client.watch(record["id"],
+                             on_event=lambda e: seen.append(e["event"]),
+                             poll_wait=2.0)
+        assert final["state"] == J.DONE
+        assert "progress" in seen
+        assert seen.count("state") >= 2  # QUEUED/RUNNING ... DONE
+
+
+class TestJsonStrictness:
+    def test_nan_results_round_trip(self, tmp_path):
+        def runner(spec, runtime, progress):
+            return {"width": float("nan")}, None
+
+        manager = JobManager(data_dir=str(tmp_path / "svc2"),
+                             cache=False, aggregate=False,
+                             runner=runner).start()
+        server = JobServer(manager).start_background()
+        try:
+            client = ServiceClient(server.url)
+            record = client.submit(CAMPAIGN)
+            final = client.wait(record["id"], poll=0.05, timeout=10.0)
+            value = final["result"]["width"]
+            assert value != value  # NaN survived strict JSON transport
+            # the raw HTTP body is strict JSON (no bare NaN token)
+            raw = urllib.request.urlopen(
+                server.url + "/jobs/" + record["id"]).read()
+            json.loads(raw, parse_constant=lambda token: pytest.fail(
+                "non-strict JSON token {!r} on the wire".format(token)))
+        finally:
+            server.shutdown()
+            manager.stop()

@@ -1,0 +1,152 @@
+"""End-to-end service tests with the real electrical engine.
+
+Everything here goes over real HTTP (ephemeral port) and runs real
+transient simulations, sized down hard (tiny populations, coarse dt)
+so the whole module stays in tens of seconds.
+"""
+
+import time
+
+import pytest
+
+import repro.service.jobs as J
+from repro.core.experiments import ExperimentConfig, run_open_coverage
+from repro.runtime import Runtime, SerialExecutor
+from repro.service import JobManager, JobServer, ServiceClient
+
+#: tiny-but-real coverage workload (~7 s of simulation)
+TINY_COVERAGE = {
+    "n_samples": 2, "dt": 6e-12, "n_paths": 2,
+    "rop_resistances": [2e3, 20e3],
+    "bridging_resistances": [1e3, 8e3],
+}
+
+#: sweep sized so cancellation has several chunk boundaries to land on
+CANCEL_SWEEP = {"kind": "sweep", "fault": "external_open", "stage": 2,
+                "resistances": [2e3, 8e3, 20e3], "n_samples": 16,
+                "seed": 11, "dt": 6e-12, "batch_size": 1}
+
+PARITY_COUNTERS = ("n_tasks", "completed", "newton_solves",
+                   "newton_iterations", "ladder_retries")
+
+
+def serve(tmp_path, **kwargs):
+    kwargs.setdefault("data_dir", str(tmp_path / "svc"))
+    kwargs.setdefault("max_concurrency", 1)
+    kwargs.setdefault("aggregate", False)
+    manager = JobManager(**kwargs).start()
+    server = JobServer(manager).start_background()
+    return manager, server, ServiceClient(server.url, timeout=30.0)
+
+
+class TestCounterParity:
+    def test_concurrent_jobs_report_direct_run_counters(self, tmp_path):
+        """Two concurrent jobs must report direct in-process counters.
+
+        The jobs run side by side on two worker threads, so this pins
+        the per-job telemetry scoping: each job's report must fold
+        exactly the solver effort of its own spec, not a mix of the
+        two.  Cache disabled on both sides: the coverage runs share
+        content-addressed keys, so a shared cache would (correctly)
+        zero one run's solver counters and hide a scoping regression.
+        """
+        manager, server, client = serve(tmp_path, cache=False,
+                                        max_concurrency=2)
+        try:
+            seeds = (1, 2)
+            records = [client.submit(
+                {"kind": "coverage", "fault": "open",
+                 "config": dict(TINY_COVERAGE, seed=seed)})
+                for seed in seeds]
+            finals = [client.wait(r["id"], poll=0.2, timeout=300.0)
+                      for r in records]
+            assert all(f["state"] == J.DONE for f in finals), [
+                f.get("error") for f in finals]
+
+            for seed, final in zip(seeds, finals):
+                direct = run_open_coverage(
+                    ExperimentConfig(seed=seed, **TINY_COVERAGE),
+                    runtime=Runtime(executor=SerialExecutor()))
+                expected = direct.report.summary()
+                got = final["report"]
+                for counter in PARITY_COUNTERS:
+                    assert got[counter] == expected[counter], (
+                        seed, counter)
+                assert got["newton_solves"] > 0
+
+                # and the result payload carries the same curves
+                for label, curve in direct.pulse.curves.items():
+                    assert final["result"]["pulse"][label]["hits"] == \
+                        curve.hits
+        finally:
+            server.shutdown()
+            manager.stop(wait=True, cancel_running=True)
+
+
+class TestCancelAndResume:
+    def test_cancel_midrun_then_resume_from_cache(self, tmp_path):
+        manager, server, client = serve(tmp_path, cache=True)
+        try:
+            record = client.submit(dict(CANCEL_SWEEP))
+            # wait until at least one chunk has settled (a task event),
+            # then cancel over HTTP
+            after = -1
+            deadline = time.monotonic() + 120.0
+            saw_task = False
+            while time.monotonic() < deadline and not saw_task:
+                response = client.events(record["id"], after=after,
+                                         wait=2.0)
+                for event in response["events"]:
+                    after = event["seq"]
+                    if event.get("event") == "task":
+                        saw_task = True
+                if response["state"] in ("DONE", "FAILED"):
+                    pytest.fail("job finished before cancel landed; "
+                                "grow CANCEL_SWEEP")
+            assert saw_task
+            client.cancel(record["id"])
+            final = client.wait(record["id"], poll=0.1, timeout=60.0)
+            assert final["state"] == J.CANCELLED
+
+            # restart: a new manager over the same data dir serves the
+            # cancelled record untouched...
+            server.shutdown()
+            manager.stop(wait=True)
+            manager2, server2, client2 = serve(tmp_path, cache=True)
+            try:
+                again = client2.job(record["id"])
+                assert again["state"] == J.CANCELLED
+
+                # ...and resubmitting the same spec resumes from the
+                # shared cache: the settled chunks are cache hits
+                redo = client2.submit(dict(CANCEL_SWEEP))
+                done = client2.wait(redo["id"], poll=0.2, timeout=300.0)
+                assert done["state"] == J.DONE, done.get("error")
+                assert done["report"]["cache_hits"] >= 1
+                assert len(done["result"]["rows"]) == \
+                    CANCEL_SWEEP["n_samples"]
+            finally:
+                server2.shutdown()
+                manager2.stop(wait=True, cancel_running=True)
+        finally:
+            server.shutdown()
+            manager.stop(wait=True, cancel_running=True)
+
+
+class TestLiveStreaming:
+    def test_stream_carries_solver_telemetry(self, tmp_path):
+        """The ndjson stream of a real job includes per-task counters."""
+        manager, server, client = serve(tmp_path, cache=False)
+        try:
+            spec = dict(CANCEL_SWEEP, n_samples=2, batch_size=1)
+            record = client.submit(spec)
+            events = list(client.stream_events(record["id"]))
+            names = [e.get("event") for e in events]
+            assert names[-1] == "state"
+            assert events[-1]["state"] == J.DONE
+            tasks = [e for e in events if e.get("event") == "task"]
+            assert len(tasks) == 2
+            assert all(e.get("schema_version") for e in tasks)
+        finally:
+            server.shutdown()
+            manager.stop(wait=True, cancel_running=True)

@@ -1,0 +1,84 @@
+"""Durable job store: atomic records, recovery-friendly loading."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.runtime import SchemaVersionError
+from repro.service import Job, JobStore, normalize_spec
+
+
+def make_record(**extra):
+    record = Job(normalize_spec({"kind": "campaign"})).to_record()
+    record.update(extra)
+    return record
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record()
+        store.save(record)
+        assert store.load(record["id"]) == record
+
+    def test_nan_results_survive(self, tmp_path):
+        """A dampened pulse measures NaN; strict JSON must carry it."""
+        store = JobStore(tmp_path)
+        record = make_record(result={"rows": [[float("nan"), 1.0]]})
+        store.save(record)
+        loaded = store.load(record["id"])
+        row = loaded["result"]["rows"][0]
+        assert math.isnan(row[0]) and row[1] == 1.0
+        # and the on-disk bytes are strict JSON (no bare NaN token)
+        with open(store.path(record["id"])) as handle:
+            assert "NaN" not in handle.read()
+
+    def test_missing_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobStore(tmp_path).load("nope")
+
+    def test_delete(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record()
+        store.save(record)
+        assert store.delete(record["id"]) is True
+        assert store.delete(record["id"]) is False
+
+
+class TestLoadAll:
+    def test_sorted_by_submission(self, tmp_path):
+        store = JobStore(tmp_path)
+        second = make_record(submitted_at=200.0)
+        first = make_record(submitted_at=100.0)
+        store.save(second)
+        store.save(first)
+        assert [r["id"] for r in store.load_all()] == [
+            first["id"], second["id"]]
+
+    def test_junk_files_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record())
+        os.makedirs(store.jobs_dir, exist_ok=True)
+        with open(os.path.join(store.jobs_dir, "torn.json"), "w") as f:
+            f.write("{not json")
+        with open(os.path.join(store.jobs_dir, "x.tmp"), "w") as f:
+            f.write("ignored")
+        assert len(store.load_all()) == 1
+
+    def test_future_schema_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record()
+        store.save(record)
+        path = store.path(record["id"])
+        with open(path) as handle:
+            raw = json.load(handle)
+        raw["schema_version"] = "99.0"
+        with open(path, "w") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(SchemaVersionError):
+            store.load_all()
+
+    def test_empty_dir(self, tmp_path):
+        assert JobStore(tmp_path / "fresh").load_all() == []
