@@ -14,9 +14,11 @@ Knobs: ``REPRO_BENCH_SAMPLES`` (population size, default 32),
 """
 
 import json
+import math
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.cells import build_path
@@ -261,6 +263,100 @@ def test_perf_campaign_runtime(tmp_path):
     assert batched_s < serial_s
     # The adaptive grid must spend at most half the fixed grid's steps.
     assert adaptive_steps_per_run * 2 <= fixed_steps_per_run
+
+
+def test_perf_solver_fast_path():
+    """Factorization-reuse solver speedup on wide paths.
+
+    Runs the same single-sample transient on chains of 7/15/31 gates
+    with the ``exact`` (per-iteration LU) and ``reuse``
+    (frozen-factorization + device bypass) Newton solvers and records
+    the serial throughput ratio in the ``solver`` section of
+    ``BENCH_runtime.json`` (read-modify-write: the main runtime bench
+    owns the rest of the file).  The fast path matters most where the
+    dense LU dominates, so the gate is on the widest chain.  Knob:
+    ``REPRO_BENCH_SOLVER_REPEATS`` (default 3).
+    """
+    from repro.core.pulse import build_instance, simulation_window
+    from repro.runtime import SolverStats, stats_scope
+    from repro.spice import run_transient
+    from repro.spice.mna import scipy_available
+
+    if not scipy_available():
+        pytest.skip("scipy not installed: reuse solver degrades to exact")
+
+    repeats = int(os.environ.get("REPRO_BENCH_SOLVER_REPEATS", "3"))
+    w_in = 0.40e-9
+    dt = 4e-12
+    scenarios = {}
+    worst_overall = 0.0
+
+    for n_gates in (7, 15, 31):
+        def run(solver):
+            path = build_instance(gate_kinds=("inv",) * n_gates)
+            delay = path.set_input_pulse(w_in, kind="h")
+            tstop = simulation_window(path, w_in=w_in,
+                                      stimulus_delay=delay)
+            stats = SolverStats()
+            best = math.inf
+            wf = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                with stats_scope(stats):
+                    wf = run_transient(path.circuit, tstop, dt,
+                                       record=[path.output_node],
+                                       solver=solver)
+                best = min(best, time.perf_counter() - t0)
+            return wf, best, stats.snapshot()["counters"]
+
+        wf_exact, exact_s, _ = run("exact")
+        wf_reuse, reuse_s, counters = run("reuse")
+
+        worst = max(np.abs(wf_exact[n] - wf_reuse[n]).max()
+                    for n in wf_exact.signals)
+        worst_overall = max(worst_overall, worst)
+        assert worst <= 1e-6, (n_gates, worst)
+        assert counters["lu_reuses"] > 0
+        assert counters["devices_bypassed"] > 0
+
+        scenarios["chain_{}".format(n_gates)] = {
+            "n_gates": n_gates,
+            "exact_wall_time_s": exact_s,
+            "reuse_wall_time_s": reuse_s,
+            "speedup_vs_exact": exact_s / reuse_s,
+            "runs_per_second_exact": 1.0 / exact_s,
+            "runs_per_second_reuse": 1.0 / reuse_s,
+            "lu_factorizations": counters["lu_factorizations"] // repeats,
+            "lu_reuses": counters["lu_reuses"] // repeats,
+            "devices_bypassed": counters["devices_bypassed"] // repeats,
+            "max_abs_v_diff_vs_exact": worst,
+        }
+
+    section = {
+        "workload": {"sweep": "single-sample pulse transient",
+                     "gate_chains": [7, 15, 31], "dt": dt,
+                     "omega_in": w_in, "repeats": repeats},
+        "max_abs_v_diff_vs_exact": worst_overall,
+    }
+    section.update(scenarios)
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_runtime.json")
+    try:
+        with open(out) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {}
+    report["solver"] = section
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print("\nsolver bench: " + ", ".join(
+        "{} gates x{:.2f}".format(s["n_gates"], s["speedup_vs_exact"])
+        for s in scenarios.values()))
+
+    # Where the dense LU dominates, reuse must win decisively; on the
+    # short chain it must at least not regress (timing noise aside).
+    assert scenarios["chain_31"]["speedup_vs_exact"] >= 1.5
+    assert scenarios["chain_7"]["speedup_vs_exact"] >= 0.9
 
 
 def test_perf_service_throughput(tmp_path):

@@ -13,6 +13,7 @@ from ..cells import default_technology
 from ..dft import FlipFlopTiming, calibrate_t_star
 from ..montecarlo import NominalModel
 from ..runtime import CacheMiss, Runtime, engine_cache_tag, stable_hash
+from ..spice.mna import resolve_solver_mode
 from .pulse import (build_instance, measure_output_pulse,
                     measure_output_pulse_batch, measure_path_delay,
                     measure_path_delay_batch, transient_kwargs)
@@ -22,10 +23,11 @@ from .transfer import (TransferCurve, characterize_transfer,
 
 
 def _grid_kwargs(payload):
-    """Time-grid kwargs (dt + adaptive knobs) encoded in a payload."""
+    """Time-grid/solver kwargs (dt + adaptive + solver) in a payload."""
     kwargs = {} if payload["dt"] is None else {"dt": payload["dt"]}
     kwargs.update(transient_kwargs(payload.get("adaptive", False),
-                                   payload.get("lte_tol")))
+                                   payload.get("lte_tol"),
+                                   solver=payload.get("solver")))
     return kwargs
 
 
@@ -105,7 +107,7 @@ def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
 def _measure_population(task, samples, payload_base, label, runtime,
                         report, key_parts, engine="scalar",
                         batch_task=None, batch_size=None, adaptive=False,
-                        lte_tol=None):
+                        lte_tol=None, solver=None):
     """Run one per-sample measurement task over the population.
 
     ``engine="batched"`` dispatches ``batch_task`` over sample chunks
@@ -115,12 +117,15 @@ def _measure_population(task, samples, payload_base, label, runtime,
     if engine not in ("scalar", "batched"):
         raise ValueError("unknown engine {!r}".format(engine))
     runtime = Runtime() if runtime is None else runtime
+    # Resolved here so payloads and cache keys always describe the same
+    # concrete solver mode (see build_sweep_payloads).
+    solver = resolve_solver_mode(solver)
     payloads = [dict(payload_base, sample=sample, adaptive=adaptive,
-                     lte_tol=lte_tol)
+                     lte_tol=lte_tol, solver=solver)
                 for sample in samples]
     keys = None
     if runtime.cache is not None:
-        tag = engine_cache_tag(engine, adaptive, lte_tol)
+        tag = engine_cache_tag(engine, adaptive, lte_tol, solver)
         keys = [stable_hash(label, key_parts, sample, *tag)
                 for sample in samples]
     if engine == "batched":
@@ -161,7 +166,7 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
                          margin=0.03e-9, dt=None, omega_in=None,
                          runtime=None, report=None, engine="scalar",
                          batch_size=None, adaptive=False, lte_tol=None,
-                         **path_kwargs):
+                         solver=None, **path_kwargs):
     """Select (ω_in*, ω_th*) for the path described by ``path_kwargs``.
 
     Steps (Sec. 5 rule + Sec. 4 yield constraint):
@@ -193,7 +198,8 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
         "pulse-calibration", runtime, report,
         [resolved_tech, fault, float(omega_in), kind, dt, path_kwargs],
         engine=engine, batch_task=_fault_free_pulse_chunk_task,
-        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol)
+        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol,
+        solver=solver)
     weakest = min(wouts)
     if weakest <= 0.0:
         raise ValueError(
@@ -209,7 +215,7 @@ def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
                          flipflop=None, skew_tolerance=0.1, dt=None,
                          runtime=None, report=None, engine="scalar",
                          batch_size=None, adaptive=False, lte_tol=None,
-                         **path_kwargs):
+                         solver=None, **path_kwargs):
     """Calibrate the reduced-clock baseline on the same population.
 
     Returns ``(DelayFaultTest, fault_free_delays)``.
@@ -224,7 +230,8 @@ def calibrate_delay_test(samples, fault=None, tech=None, direction="rise",
         "delay-calibration", runtime, report,
         [resolved_tech, fault, direction, dt, path_kwargs],
         engine=engine, batch_task=_fault_free_delay_chunk_task,
-        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol)
+        batch_size=batch_size, adaptive=adaptive, lte_tol=lte_tol,
+        solver=solver)
     test = calibrate_t_star(delays, samples, flipflop,
                             skew_tolerance=skew_tolerance)
     return test, delays

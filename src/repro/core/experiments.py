@@ -37,15 +37,19 @@ class ExperimentConfig:
     switches both engines to the LTE-controlled time grid
     (``REPRO_ADAPTIVE=1``) with per-step tolerance ``lte_tol``
     (``REPRO_LTE_TOL``, volts; None uses the engine default).
-    ``trace`` names a JSONL file receiving one event per executed task
-    (``REPRO_TRACE``; None disables tracing).
+    ``solver`` selects the Newton variant for every transient in the
+    experiment (``"reuse"`` = factorization-reuse fast path, ``"exact"``
+    = per-iteration refactor reference; ``REPRO_SOLVER``; None defers to
+    the engine default, which resolves to ``"reuse"``).  ``trace`` names
+    a JSONL file receiving one event per executed task (``REPRO_TRACE``;
+    None disables tracing).
     """
 
     def __init__(self, n_samples=16, dt=3e-12, seed=1, fault_stage=2,
                  rop_resistances=None, bridging_resistances=None,
                  n_paths=10, n_jobs=None, cache_dir=None,
                  engine="scalar", batch_size=None, adaptive=False,
-                 lte_tol=None, trace=None):
+                 lte_tol=None, solver=None, trace=None):
         self.n_samples = int(n_samples)
         self.dt = float(dt)
         self.seed = int(seed)
@@ -65,6 +69,9 @@ class ExperimentConfig:
         self.batch_size = None if batch_size is None else int(batch_size)
         self.adaptive = bool(adaptive)
         self.lte_tol = None if lte_tol is None else float(lte_tol)
+        if solver is not None and solver not in ("exact", "reuse"):
+            raise ValueError("unknown solver {!r}".format(solver))
+        self.solver = solver
         self.trace = None if trace is None else str(trace)
 
     @classmethod
@@ -95,6 +102,8 @@ class ExperimentConfig:
         if os.environ.get("REPRO_LTE_TOL"):
             overrides.setdefault("lte_tol",
                                  float(os.environ["REPRO_LTE_TOL"]))
+        if os.environ.get("REPRO_SOLVER"):
+            overrides.setdefault("solver", os.environ["REPRO_SOLVER"])
         if os.environ.get("REPRO_TRACE"):
             overrides.setdefault("trace", os.environ["REPRO_TRACE"])
         return cls(**overrides)
@@ -105,7 +114,8 @@ class ExperimentConfig:
     #: host's decision, not the submitter's.
     SPEC_FIELDS = ("n_samples", "dt", "seed", "fault_stage",
                    "rop_resistances", "bridging_resistances", "n_paths",
-                   "engine", "batch_size", "adaptive", "lte_tol")
+                   "engine", "batch_size", "adaptive", "lte_tol",
+                   "solver")
 
     def to_jsonable(self):
         """The experiment knobs as a plain JSON-serialisable dict.
@@ -236,6 +246,7 @@ def _run_coverage(config, tech, fault_proto, resistances, label,
     report = RunReport(label)
 
     engine_kwargs = dict(engine=config.engine,
+                         solver=config.solver,
                          batch_size=config.batch_size,
                          adaptive=config.adaptive,
                          lte_tol=config.lte_tol)

@@ -26,18 +26,22 @@ WINDOW_MARGIN = 1.2e-9
 
 
 def transient_kwargs(adaptive=False, lte_tol=None, dt_min=None,
-                     dt_max=None):
-    """Time-grid keyword set shared by the measurement drivers.
+                     dt_max=None, solver=None):
+    """Time-grid and solver keyword set shared by the measurement drivers.
 
-    Normalises the adaptive knobs into the kwargs both
+    Normalises the adaptive and Newton-solver knobs into the kwargs both
     :func:`~repro.spice.run_transient` and
     :func:`~repro.spice.run_transient_batch` accept; with
-    ``adaptive=False`` the extra knobs are ignored and the fixed-step
-    reference grid is used.
+    ``adaptive=False`` the time-grid knobs are dropped and the
+    fixed-step reference grid is used.  ``solver=None`` leaves the mode
+    to the engine default (``REPRO_SOLVER`` or ``"reuse"``).
     """
+    kwargs = {}
+    if solver is not None:
+        kwargs["solver"] = str(solver)
     if not adaptive:
-        return {}
-    kwargs = {"adaptive": True}
+        return kwargs
+    kwargs["adaptive"] = True
     if lte_tol is not None:
         kwargs["lte_tol"] = float(lte_tol)
     if dt_min is not None:
@@ -91,7 +95,7 @@ def simulation_window(path, w_in=0.0, stimulus_delay=0.0):
 
 def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
                          record_all=False, adaptive=False, lte_tol=None,
-                         dt_min=None, dt_max=None):
+                         dt_min=None, dt_max=None, solver=None):
     """Inject a pulse and measure ``w_out`` at the path output.
 
     Returns ``(w_out, waveform)``; ``w_out`` is the width of the widest
@@ -105,7 +109,8 @@ def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
     record = None if record_all else [path.input_node, path.output_node]
     waveform = run_transient(path.circuit, tstop, dt, record=record,
                              **transient_kwargs(adaptive, lte_tol,
-                                                dt_min, dt_max))
+                                                dt_min, dt_max,
+                                                solver=solver))
     level = path.tech.vdd_half if level is None else level
     polarity = output_pulse_polarity(path, kind)
     w_out = waveform.widest_pulse(path.output_node, level, polarity)
@@ -114,7 +119,7 @@ def measure_output_pulse(path, w_in, kind="h", dt=DEFAULT_DT, level=None,
 
 def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
                                level=None, adaptive=False, lte_tol=None,
-                               dt_min=None, dt_max=None):
+                               dt_min=None, dt_max=None, solver=None):
     """Batched ``w_out`` measurement over topologically identical paths.
 
     All instances are simulated in lockstep by the batched transient
@@ -132,7 +137,8 @@ def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
     waveforms = run_transient_batch([path.circuit for path in paths],
                                     tstop, dt, record=record,
                                     **transient_kwargs(adaptive, lte_tol,
-                                                       dt_min, dt_max))
+                                                       dt_min, dt_max,
+                                                       solver=solver))
     w_outs = []
     for path, waveform in zip(paths, waveforms):
         lv = path.tech.vdd_half if level is None else level
@@ -143,7 +149,7 @@ def measure_output_pulse_batch(paths, w_in, kind="h", dt=DEFAULT_DT,
 
 def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
                              level=None, adaptive=False, lte_tol=None,
-                             dt_min=None, dt_max=None):
+                             dt_min=None, dt_max=None, solver=None):
     """Batched propagation-delay measurement (lockstep population).
 
     Returns ``(delays, waveforms)``; non-crossing outputs report
@@ -157,7 +163,8 @@ def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
     waveforms = run_transient_batch([path.circuit for path in paths],
                                     tstop, dt, record=record,
                                     **transient_kwargs(adaptive, lte_tol,
-                                                       dt_min, dt_max))
+                                                       dt_min, dt_max,
+                                                       solver=solver))
     delays = []
     for path, waveform in zip(paths, waveforms):
         lv = path.tech.vdd_half if level is None else level
@@ -169,7 +176,7 @@ def measure_path_delay_batch(paths, direction="rise", dt=DEFAULT_DT,
 
 def measure_path_delay(path, direction="rise", dt=DEFAULT_DT, level=None,
                        adaptive=False, lte_tol=None, dt_min=None,
-                       dt_max=None):
+                       dt_max=None, solver=None):
     """Propagation delay for a single input transition.
 
     Returns ``(delay, waveform)``.  When the output never crosses the
@@ -182,7 +189,8 @@ def measure_path_delay(path, direction="rise", dt=DEFAULT_DT, level=None,
     waveform = run_transient(path.circuit, tstop, dt,
                              record=[path.input_node, path.output_node],
                              **transient_kwargs(adaptive, lte_tol,
-                                                dt_min, dt_max))
+                                                dt_min, dt_max,
+                                                solver=solver))
     level = path.tech.vdd_half if level is None else level
     d = waveform.propagation_delay(path.input_node, path.output_node, level)
     if d is None:

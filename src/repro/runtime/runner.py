@@ -51,15 +51,18 @@ class CampaignCancelled(Exception):
         self.total = total
 
 
-def engine_cache_tag(engine="scalar", adaptive=False, lte_tol=None):
+def engine_cache_tag(engine="scalar", adaptive=False, lte_tol=None,
+                     solver=None):
     """Cache-key tag tuple for the simulation-engine configuration.
 
-    Results from different engines or time-grid disciplines agree only
-    to tolerance, never bit-exactly, so their cached rows must not alias.
-    The scalar fixed-step reference contributes no tokens (keeps every
-    pre-existing cache entry valid); the batched engine and the adaptive
-    grid each add a discriminating token, and the adaptive tag includes
-    the LTE tolerance because it changes the produced waveforms.
+    Results from different engines, time-grid disciplines or Newton
+    solver modes agree only to tolerance, never bit-exactly, so their
+    cached rows must not alias.  The scalar fixed-step exact-Newton
+    reference contributes no tokens (keeps every pre-existing cache
+    entry valid); the batched engine, the adaptive grid and the
+    factorization-reuse solver each add a discriminating token, and the
+    adaptive tag includes the LTE tolerance because it changes the
+    produced waveforms.
     """
     tag = []
     if engine != "scalar":
@@ -68,6 +71,8 @@ def engine_cache_tag(engine="scalar", adaptive=False, lte_tol=None):
         tag.append("grid=adaptive")
         if lte_tol is not None:
             tag.append("lte_tol={!r}".format(float(lte_tol)))
+    if solver is not None and solver != "exact":
+        tag.append("solver={}".format(solver))
     return tuple(tag)
 
 

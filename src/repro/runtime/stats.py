@@ -45,6 +45,11 @@ COUNTER_NAMES = (
     "adaptive_accepted",
     "adaptive_rejected",
     "ladder_retries",
+    # factorization-reuse fast path (repro.spice.mna.NewtonState)
+    "lu_factorizations",
+    "lu_reuses",
+    "devices_bypassed",
+    "bypass_forced_exact",
 )
 
 #: counters the batched engine attributes per sample row

@@ -131,6 +131,22 @@ class RunReport:
     def ladder_retries(self):
         return self.solver.total("ladder_retries")
 
+    @property
+    def lu_factorizations(self):
+        return self.solver.total("lu_factorizations")
+
+    @property
+    def lu_reuses(self):
+        return self.solver.total("lu_reuses")
+
+    @property
+    def devices_bypassed(self):
+        return self.solver.total("devices_bypassed")
+
+    @property
+    def bypass_forced_exact(self):
+        return self.solver.total("bypass_forced_exact")
+
     def samples_per_second(self):
         """Completed-task throughput over the campaign's wall clock.
 
@@ -167,6 +183,10 @@ class RunReport:
             "adaptive_accepted": self.adaptive_accepted,
             "adaptive_rejected": self.adaptive_rejected,
             "ladder_retries": self.ladder_retries,
+            "lu_factorizations": self.lu_factorizations,
+            "lu_reuses": self.lu_reuses,
+            "devices_bypassed": self.devices_bypassed,
+            "bypass_forced_exact": self.bypass_forced_exact,
             "solver_phase_s": dict(self.solver.phase_s),
             "failure_taxonomy": dict(self.failure_taxonomy),
         }
@@ -211,6 +231,12 @@ class RunReport:
                 "  adaptive: {} accepted / {} rejected steps in {} runs"
                 .format(s["adaptive_accepted"], s["adaptive_rejected"],
                         s["adaptive_runs"]))
+        if self.lu_factorizations or self.lu_reuses:
+            lines.append(
+                "  fast path: {} LU factorizations, {} reuses, "
+                "{} devices bypassed".format(
+                    s["lu_factorizations"], s["lu_reuses"],
+                    s["devices_bypassed"]))
         if s["solver_phase_s"]:
             lines.append("  solver phases: " + ", ".join(
                 "{} {:.2f}s".format(name, seconds)

@@ -15,14 +15,26 @@ Ground is index ``-1`` and is handled by appending a pinned 0.0 entry when
 gathering voltages and by masking stamps that land on it.
 """
 
+import os
 import time as _time
 
 import numpy as np
 
+try:
+    # Raw LAPACK bindings: the high-level lu_factor/lu_solve wrappers
+    # spend ~30 us per call on argument validation, which at MNA sizes
+    # (tens of unknowns) costs more than the triangular solves they
+    # wrap.  getrf also reports exact singularity via ``info`` instead
+    # of a warning, which is the contract the solver needs anyway.
+    from scipy.linalg.lapack import dgetrf as _getrf, dgetrs as _getrs
+except ImportError:  # pragma: no cover - exercised where scipy is absent
+    _getrf = None
+    _getrs = None
+
 from ..runtime.stats import StatsView, current_stats
 from .elements import Capacitor, CurrentSource, Resistor, VoltageSource
 from .errors import ConvergenceError, NetlistError
-from .mosfet import Mosfet, evaluate_level1
+from .mosfet import Mosfet, evaluate_level1, evaluate_level1_fast
 from .netlist import is_ground
 
 #: deprecated read-only view of the process-root solver counters.
@@ -31,6 +43,90 @@ from .netlist import is_ground
 #: snapshot ``dict(NEWTON_STATS)`` around a workload.  Writes raise.
 NEWTON_STATS = StatsView({"solves": "newton_solves",
                           "iterations": "newton_iterations"})
+
+SOLVER_EXACT = "exact"
+SOLVER_REUSE = "reuse"
+SOLVER_MODES = (SOLVER_EXACT, SOLVER_REUSE)
+DEFAULT_SOLVER = SOLVER_REUSE
+
+#: a device whose terminal voltages all moved less than this since its
+#: last evaluation keeps its cached linearisation (volts).  The final
+#: convergence check always re-evaluates every device, so the accepted
+#: solution satisfies the *exact* stamped system to ``vtol`` regardless.
+DEFAULT_BYPASS_TOL = 1e-6
+
+#: a Newton step that shrinks by less than this factor versus the
+#: previous one counts as a stall and triggers a Jacobian refactor.
+STALL_RATIO = 0.5
+
+#: companion-base variants kept per compiled circuit (adaptive stepping
+#: revisits a handful of step sizes; the cache makes their ``a_base``
+#: identity-stable so LU warm starts survive step-size oscillation).
+_COMPANION_CACHE_MAX = 8
+
+
+def scipy_available():
+    """True when :mod:`scipy.linalg` is importable (reuse fast path)."""
+    return _getrf is not None
+
+
+def resolve_solver_mode(solver=None):
+    """Resolve a solver-mode knob to ``"exact"`` or ``"reuse"``.
+
+    ``None`` falls back to the ``REPRO_SOLVER`` environment variable and
+    then to :data:`DEFAULT_SOLVER`.  When scipy is unavailable the reuse
+    mode silently degrades to exact — behaviour, not performance, is the
+    contract there.
+    """
+    if solver is None:
+        solver = os.environ.get("REPRO_SOLVER") or DEFAULT_SOLVER
+    if solver not in SOLVER_MODES:
+        raise ValueError("unknown solver mode {!r}; expected one of {}"
+                         .format(solver, "/".join(SOLVER_MODES)))
+    if solver == SOLVER_REUSE and not scipy_available():
+        return SOLVER_EXACT
+    return solver
+
+
+class NewtonState:
+    """Cross-timestep memory for the factorization-reuse fast path.
+
+    One instance accompanies one transient run (one sample).  It owns
+
+    * the frozen LU factorization of the last stamped Jacobian plus the
+      identity of the ``a_base`` and the ``gmin`` it was built for (the
+      LU is only reusable against the exact same companion system), and
+    * the per-device linearisation cache — terminal voltages at the last
+      evaluation and the resulting ``(i_ab, gm, gds, a_is_drain)`` — that
+      the device-bypass logic compares against.
+    """
+
+    def __init__(self, bypass_tol=DEFAULT_BYPASS_TOL):
+        self.bypass_tol = float(bypass_tol)
+        self.lu = None
+        self.lu_a_base = None
+        self.lu_gmin = None
+        self.dev_vd = None
+        self.dev_vg = None
+        self.dev_vs = None
+        self.dev_i = None
+        self.dev_gm = None
+        self.dev_gds = None
+        self.dev_a_is_drain = None
+        #: stacked [node_a..., node_b...] scatter targets (ground = -1),
+        #: maintained alongside the linearisation cache so the residual
+        #: and Jacobian assembly skip the per-iteration where() shuffle
+        self.node_ab = None
+
+    def lu_matches(self, a_base, gmin):
+        return (self.lu is not None and self.lu_a_base is a_base
+                and self.lu_gmin == gmin)
+
+    def invalidate(self):
+        """Drop the frozen factorization (device cache stays useful)."""
+        self.lu = None
+        self.lu_a_base = None
+        self.lu_gmin = None
 
 
 class CompiledCircuit:
@@ -56,6 +152,7 @@ class CompiledCircuit:
         self._build_static(circuit)
         self._build_caps(circuit)
         self._build_mosfets(circuit)
+        self._companion_cache = {}
 
     # ------------------------------------------------------------------
 
@@ -171,6 +268,26 @@ class CompiledCircuit:
         np.add.at(a, (q[both], p[both]), -geq[both])
         return a
 
+    def companion_base(self, scheme, geq_scale):
+        """``a_static + cap_companion_matrix(geq_scale)``, cached.
+
+        Keyed per ``(scheme, geq_scale)`` so the transient drivers stop
+        re-summing the same companion system on every step/attempt (the
+        adaptive stepper revisits a handful of step sizes).  The returned
+        array is shared and marked read-only; its *identity* stability is
+        what lets :class:`NewtonState` keep a warm LU across timesteps.
+        """
+        key = (scheme, float(geq_scale))
+        cache = self._companion_cache
+        base = cache.pop(key, None)
+        if base is None:
+            base = self.a_static + self.cap_companion_matrix(geq_scale)
+            base.setflags(write=False)
+            while len(cache) >= _COMPANION_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+        cache[key] = base
+        return base
+
     def cap_branch_voltages(self, x):
         """Voltage across each capacitor (p - n) for state ``x``."""
         if self.n_caps == 0:
@@ -232,6 +349,112 @@ class CompiledCircuit:
         if np.any(mb):
             np.add.at(rhs, ib[mb], ieq[mb])
 
+    def refresh_device_cache(self, x, state, force_exact=False):
+        """Update ``state``'s per-device linearisation cache around ``x``.
+
+        Devices whose terminal voltages all moved less than
+        ``state.bypass_tol`` since their last evaluation keep their
+        cached ``(i_ab, gm, gds, a_is_drain)``; only the moved subset is
+        re-evaluated (``force_exact`` re-evaluates everything).  Returns
+        the number of devices bypassed.
+        """
+        if self.n_mos == 0:
+            return 0
+        v = self.gather_voltages(x)
+        vd = v[self.mos_d]
+        vg = v[self.mos_g]
+        vs = v[self.mos_s]
+        full = force_exact or state.dev_vd is None
+        if not full:
+            tol = state.bypass_tol
+            moved = np.abs(vd - state.dev_vd) > tol
+            np.logical_or(moved, np.abs(vg - state.dev_vg) > tol,
+                          out=moved)
+            np.logical_or(moved, np.abs(vs - state.dev_vs) > tol,
+                          out=moved)
+            n_moved = int(np.count_nonzero(moved))
+            if n_moved == self.n_mos:
+                full = True  # everything moved: vectorised full pass
+        if full:
+            (state.dev_i, state.dev_gm, state.dev_gds,
+             state.dev_a_is_drain) = evaluate_level1_fast(
+                vd, vg, vs, self.mos_sign, self.mos_beta,
+                self.mos_vt, self.mos_lam)
+            state.dev_vd, state.dev_vg, state.dev_vs = vd, vg, vs
+            aid = state.dev_a_is_drain
+            state.node_ab = np.concatenate(
+                (np.where(aid, self.mos_d, self.mos_s),
+                 np.where(aid, self.mos_s, self.mos_d)))
+            return 0
+        if n_moved:
+            idx = np.flatnonzero(moved)
+            i_ab, gm, gds, a_is_drain = evaluate_level1_fast(
+                vd[idx], vg[idx], vs[idx], self.mos_sign[idx],
+                self.mos_beta[idx], self.mos_vt[idx], self.mos_lam[idx])
+            state.dev_i[idx] = i_ab
+            state.dev_gm[idx] = gm
+            state.dev_gds[idx] = gds
+            state.dev_a_is_drain[idx] = a_is_drain
+            state.dev_vd[idx] = vd[idx]
+            state.dev_vg[idx] = vg[idx]
+            state.dev_vs[idx] = vs[idx]
+            state.node_ab[idx] = np.where(a_is_drain, self.mos_d[idx],
+                                          self.mos_s[idx])
+            state.node_ab[idx + self.n_mos] = np.where(
+                a_is_drain, self.mos_s[idx], self.mos_d[idx])
+        return self.n_mos - n_moved
+
+    def stamp_jacobian_from_cache(self, a, state, gmin=1e-12):
+        """Stamp the small-signal (matrix-only) part of every MOSFET from
+        ``state``'s cached linearisation — same entries
+        :meth:`stamp_mosfets` writes, without re-evaluating devices."""
+        if self.n_mos == 0:
+            return
+        gm, gds = state.dev_gm, state.dev_gds
+        ia = state.node_ab[:self.n_mos]
+        ib = state.node_ab[self.n_mos:]
+        ig = self.mos_g
+        ma, mb, mg = ia >= 0, ib >= 0, ig >= 0
+
+        def stamp(rows, cols, vals, mask):
+            if np.any(mask):
+                np.add.at(a, (rows[mask], cols[mask]), vals[mask])
+
+        stamp(ia, ig, gm, np.logical_and(ma, mg))
+        stamp(ia, ia, gds + gmin, ma)
+        stamp(ia, ib, -(gm + gds), np.logical_and(ma, mb))
+        stamp(ib, ig, -gm, np.logical_and(mb, mg))
+        stamp(ib, ia, -gds, np.logical_and(mb, ma))
+        stamp(ib, ib, gm + gds + gmin, mb)
+
+    def residual_from_cache(self, x, a_base, rhs_base, state, gmin=1e-12):
+        """KCL residual ``F(x)`` of the stamped system at ``x``.
+
+        Device currents come from ``state``'s cache (exact when the cache
+        was refreshed at ``x``; within ``(gm+gds)*bypass_tol`` for
+        bypassed devices).  Row conventions match :meth:`stamp_mosfets`:
+        ``F = A(x)·x - rhs`` of the exact Norton-stamped system, so a
+        Newton step is ``dx = -J⁻¹ F``.
+        """
+        n = self.n
+        f = np.empty(n + 1)
+        np.matmul(a_base, x, out=f[:n])
+        f[:n] -= rhs_base
+        n_nodes = self.n_nodes
+        f[:n_nodes] += gmin * x[:n_nodes]
+        # trailing slot is a discard bin: ground stamps (index -1) land
+        # there and are dropped with the final slice, mask-free
+        f[n] = 0.0
+        if self.n_mos:
+            v = self.gather_voltages(x)
+            nm = self.n_mos
+            contrib = np.empty(2 * nm)
+            contrib[:nm] = state.dev_i
+            np.negative(state.dev_i, out=contrib[nm:])
+            contrib += gmin * v[state.node_ab]
+            np.add.at(f, state.node_ab, contrib)
+        return f[:n]
+
     def mosfet_currents(self, x):
         """Drain current of each MOSFET (positive into the drain) at ``x``."""
         if self.n_mos == 0:
@@ -245,13 +468,26 @@ class CompiledCircuit:
 
 
 def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
-                 max_iter=120, vtol=1e-6, damping=0.8, time=None):
+                 max_iter=120, vtol=1e-6, damping=0.8, time=None,
+                 state=None):
     """Solve the nonlinear MNA system ``F(x) = 0`` by damped Newton.
 
     ``a_base``/``rhs_base`` hold every contribution that does not depend on
     ``x`` (linear elements, sources, capacitor companions).  Returns the
     converged solution.
+
+    With ``state`` (a :class:`NewtonState`) and scipy available, the
+    factorization-reuse/device-bypass fast path runs first; the exact
+    damped iteration below remains the guaranteed fallback, so
+    convergence behaviour is never worse than without ``state``.
     """
+    if state is not None and scipy_available():
+        try:
+            return _newton_solve_reuse(compiled, a_base, rhs_base, x0,
+                                       state, gmin, max_iter, vtol,
+                                       damping, time)
+        except ConvergenceError:
+            state.invalidate()
     x = np.array(x0, dtype=float)
     n_nodes = compiled.n_nodes
     stats = current_stats()
@@ -276,21 +512,120 @@ def newton_solve(compiled, a_base, rhs_base, x0, gmin=1e-12,
             dx = x_new - x
             # Limit voltage updates to keep the quadratic model honest.
             vstep = np.abs(dx[:n_nodes]).max() if n_nodes else 0.0
+            # Report the *undamped* Newton step on failure: the damped
+            # value used to masquerade as the residual and made every
+            # diverging solve look like it stopped at ``damping``.
+            last_step = vstep
             if vstep > damping:
                 dx *= damping / vstep
-                last_step = damping
-            else:
-                last_step = vstep
             x = x + dx
             if vstep <= vtol:
                 return x
         raise ConvergenceError(
-            "Newton failed to converge", iterations=max_iter,
+            "Newton failed to converge", iterations=iterations,
             residual=0.0 if last_step is None else float(last_step),
             time=time)
     finally:
         # Book iterations even on the failure path — diverging solves
         # are exactly the effort test-time tuning needs to see.
+        stats.count("newton_iterations", iterations)
+        stats.add_phase("newton", _time.perf_counter() - start)
+
+
+def _newton_solve_reuse(compiled, a_base, rhs_base, x0, state, gmin,
+                        max_iter, vtol, damping, time):
+    """Modified (Shamanskii) Newton with a frozen LU and device bypass.
+
+    Iterates ``x += -J₀⁻¹ F(x)`` where ``F`` is the residual of the exact
+    stamped system and ``J₀`` is the LU-factored Jacobian from the last
+    refactor — possibly warm-started from a previous timestep via
+    ``state``.  Policy:
+
+    * refactor when there is no LU valid for this ``(a_base, gmin)``, or
+      when the step fails to shrink by :data:`STALL_RATIO`;
+    * a stall right after a fresh refactor switches to refactoring every
+      iteration, which is algebraically exact Newton;
+    * convergence is only accepted on an iteration whose devices were all
+      evaluated exactly (``bypass_forced_exact`` counts the confirmation
+      passes this forces).
+    """
+    x = np.array(x0, dtype=float)
+    n_nodes = compiled.n_nodes
+    stats = current_stats()
+    stats.count("newton_solves")
+    iterations = 0
+    start = _time.perf_counter()
+    diag = np.arange(n_nodes)
+    refactor = not state.lu_matches(a_base, gmin)
+    always_refactor = False
+    force_exact = False
+    prev_vstep = np.inf
+    vstep = None
+    try:
+        for _iteration in range(max_iter):
+            iterations += 1
+            fully_exact = force_exact or state.dev_vd is None
+            bypassed = compiled.refresh_device_cache(
+                x, state, force_exact=fully_exact)
+            if bypassed:
+                stats.count("devices_bypassed", bypassed)
+            fresh = refactor or always_refactor
+            if fresh:
+                # Fortran order lets getrf factor in place, copy-free.
+                a = a_base.copy(order="F")
+                compiled.stamp_jacobian_from_cache(a, state, gmin=gmin)
+                a[diag, diag] += gmin
+                lu, piv, info = _getrf(a, overwrite_a=True)
+                if info != 0:
+                    raise ConvergenceError(
+                        "singular MNA matrix", iterations=iterations,
+                        time=time)
+                state.lu = (lu, piv)
+                state.lu_a_base = a_base
+                state.lu_gmin = gmin
+                stats.count("lu_factorizations")
+                refactor = False
+            else:
+                stats.count("lu_reuses")
+            f = compiled.residual_from_cache(x, a_base, rhs_base, state,
+                                             gmin=gmin)
+            lu, piv = state.lu
+            dx, info = _getrs(lu, piv, -f, overwrite_b=True)
+            if info != 0:  # pragma: no cover - getrf guards this
+                raise ConvergenceError(
+                    "singular MNA matrix", iterations=iterations,
+                    time=time)
+            vstep = np.abs(dx[:n_nodes]).max() if n_nodes else 0.0
+            if not np.isfinite(vstep):
+                raise ConvergenceError(
+                    "singular MNA matrix", iterations=iterations,
+                    time=time)
+            if vstep > damping:
+                dx *= damping / vstep
+            x = x + dx
+            if vstep <= vtol:
+                if fully_exact or bypassed == 0:
+                    return x
+                # Converged against cached linearisations: confirm with
+                # every device re-evaluated exactly before accepting.
+                stats.count("bypass_forced_exact")
+                force_exact = True
+                prev_vstep = np.inf
+                continue
+            if vstep > STALL_RATIO * prev_vstep:
+                if fresh:
+                    # Even a fresh Jacobian is not contracting; refactor
+                    # every remaining iteration (== exact Newton).
+                    always_refactor = True
+                refactor = True
+            prev_vstep = vstep
+        raise ConvergenceError(
+            "Newton failed to converge", iterations=iterations,
+            residual=0.0 if vstep is None else float(vstep), time=time)
+    except ConvergenceError:
+        state.invalidate()
+        raise
+    finally:
         stats.count("newton_iterations", iterations)
         stats.add_phase("newton", _time.perf_counter() - start)
 

@@ -24,10 +24,12 @@ while using materially fewer steps.
 import numpy as np
 
 from ..runtime.stats import StatsView, record
-from .batch import (BatchCompiledCircuit, gmin_ladder_batch,
-                    newton_solve_batch, solve_dc_batch)
+from .batch import (BatchCompiledCircuit, BatchNewtonState,
+                    gmin_ladder_batch, newton_solve_batch, solve_dc_batch)
 from .errors import AnalysisError, ConvergenceError
-from .mna import CompiledCircuit, gmin_continuation_solve, newton_solve
+from .mna import (SOLVER_REUSE, CompiledCircuit, NewtonState,
+                  gmin_continuation_solve, newton_solve,
+                  resolve_solver_mode)
 from .dcop import solve_dc
 from .sources import collect_breakpoints
 from .waveform import Waveform
@@ -232,7 +234,7 @@ def _push_history(hist_t, hist_x, t_new, x_new, landed):
 
 def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
                   gmin=1e-12, x0=None, adaptive=False, dt_min=None,
-                  dt_max=None, lte_tol=DEFAULT_LTE_TOL):
+                  dt_max=None, lte_tol=DEFAULT_LTE_TOL, solver=None):
     """Simulate ``circuit`` from 0 to ``tstop``.
 
     Parameters
@@ -258,6 +260,10 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
         ``min(tstop, 32*dt)``).
     lte_tol:
         Per-step error tolerance in volts (adaptive only).
+    solver:
+        ``"reuse"`` (modified Newton with a warm LU factorization and
+        device bypass; the default) or ``"exact"`` (re-stamp and
+        re-factor every iteration).  ``None`` reads ``REPRO_SOLVER``.
 
     Returns a :class:`Waveform` (non-uniform time base when adaptive).
     """
@@ -268,6 +274,7 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
     if adaptive and method != TRAPEZOIDAL:
         raise AnalysisError("adaptive stepping requires the trapezoidal "
                             "method")
+    solver = resolve_solver_mode(solver)
 
     compiled = CompiledCircuit(circuit)
     n = compiled.n
@@ -281,7 +288,7 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
 
     if adaptive:
         result = _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max,
-                               lte_tol, gmin)
+                               lte_tol, gmin, solver)
         return result.waveform(record)
 
     n_steps = _fixed_step_count(tstop, dt)
@@ -293,8 +300,9 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
         geq_scale = 1.0 / dt
     else:
         geq_scale = 2.0 / dt
-    a_base = compiled.a_static + compiled.cap_companion_matrix(geq_scale)
+    a_base = compiled.companion_base(method, geq_scale)
     geq = compiled.cap_c * geq_scale
+    newton_state = NewtonState() if solver == SOLVER_REUSE else None
 
     cap_p, cap_n = compiled.cap_p, compiled.cap_n
     mp, mq = cap_p >= 0, cap_n >= 0
@@ -317,7 +325,8 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
             np.subtract.at(rhs, cap_n[mq], ieq[mq])
 
         try:
-            x = newton_solve(compiled, a_base, rhs, x, gmin=gmin, time=t)
+            x = newton_solve(compiled, a_base, rhs, x, gmin=gmin, time=t,
+                             state=newton_state)
         except ConvergenceError:
             # Retry with gmin continuation on the *same* companion system;
             # switching instants occasionally need it.  Rungs that fail
@@ -340,7 +349,8 @@ def run_transient(circuit, tstop, dt, method=TRAPEZOIDAL, record=None,
     return result.waveform(record)
 
 
-def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin):
+def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin,
+                  solver=SOLVER_REUSE):
     """Adaptive trapezoidal transient on the scalar engine."""
     n = compiled.n
     n_nodes = compiled.n_nodes
@@ -349,6 +359,7 @@ def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin):
     stimuli += [src.stimulus for src in compiled.isources]
     controller.register_breakpoints(collect_breakpoints(stimuli, tstop))
     record("adaptive_runs")
+    newton_state = NewtonState() if solver == SOLVER_REUSE else None
 
     cap_p, cap_n = compiled.cap_p, compiled.cap_n
     mp, mq = cap_p >= 0, cap_n >= 0
@@ -364,7 +375,7 @@ def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin):
         h = controller.propose(len(hist_t))
         t_new = controller.t + h
         geq_scale = 2.0 / h
-        a_base = compiled.a_static + compiled.cap_companion_matrix(geq_scale)
+        a_base = compiled.companion_base(TRAPEZOIDAL, geq_scale)
         geq = compiled.cap_c * geq_scale
 
         rhs = np.zeros(n)
@@ -377,7 +388,7 @@ def _run_adaptive(compiled, x, tstop, dt, dt_min, dt_max, lte_tol, gmin):
         try:
             try:
                 x_new = newton_solve(compiled, a_base, rhs, x, gmin=gmin,
-                                     time=t_new)
+                                     time=t_new, state=newton_state)
             except ConvergenceError:
                 x_new = gmin_continuation_solve(compiled, a_base, rhs, x,
                                                 gmin=gmin, time=t_new)
@@ -447,7 +458,8 @@ class BatchTransientResult:
 
 def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
                         record=None, gmin=1e-12, x0=None, adaptive=False,
-                        dt_min=None, dt_max=None, lte_tol=DEFAULT_LTE_TOL):
+                        dt_min=None, dt_max=None, lte_tol=DEFAULT_LTE_TOL,
+                        solver=None):
     """Simulate a population of topologically identical circuits in
     lockstep from 0 to ``tstop``.
 
@@ -480,6 +492,7 @@ def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
     if adaptive and method != TRAPEZOIDAL:
         raise AnalysisError("adaptive stepping requires the trapezoidal "
                             "method")
+    solver = resolve_solver_mode(solver)
 
     batch = (circuits if isinstance(circuits, BatchCompiledCircuit)
              else BatchCompiledCircuit(circuits))
@@ -494,7 +507,7 @@ def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
 
     if adaptive:
         result = _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max,
-                                     lte_tol, gmin)
+                                     lte_tol, gmin, solver)
         return result.waveforms(record)
 
     n_steps = _fixed_step_count(tstop, dt)
@@ -506,8 +519,10 @@ def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
         geq_scale = 1.0 / dt
     else:
         geq_scale = 2.0 / dt
-    a_base = batch.a_static + batch.cap_companion_matrix(geq_scale)
+    a_base = batch.companion_base(method, geq_scale)
     geq = batch.cap_c * geq_scale
+    newton_state = (BatchNewtonState() if solver == SOLVER_REUSE
+                    else None)
 
     # Source-waveform tables over the whole grid (kills the per-step
     # Python loop the scalar engine pays in source_rhs).
@@ -533,7 +548,8 @@ def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
 
         x_prev = x
         x, conv = newton_solve_batch(batch, a_base, rhs, x_prev,
-                                     gmin=gmin, time=t)
+                                     gmin=gmin, time=t,
+                                     state=newton_state)
         if not conv.all():
             # gmin-continuation ladder for the failing subset only, from
             # the previous accepted state (the diverged iterate is
@@ -556,7 +572,7 @@ def run_transient_batch(circuits, tstop, dt, method=TRAPEZOIDAL,
 
 
 def _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max, lte_tol,
-                        gmin):
+                        gmin, solver=SOLVER_REUSE):
     """Adaptive trapezoidal transient on the lockstep engine.
 
     The batch advances on the union grid: one controller, per-sample
@@ -572,6 +588,8 @@ def _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max, lte_tol,
                 for src in sources]
     controller.register_breakpoints(collect_breakpoints(stimuli, tstop))
     record("adaptive_runs")
+    newton_state = (BatchNewtonState() if solver == SOLVER_REUSE
+                    else None)
 
     vcap_prev = batch.cap_branch_voltages(x)
     icap_prev = np.zeros_like(vcap_prev)
@@ -585,7 +603,7 @@ def _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max, lte_tol,
         h = controller.propose(len(hist_t))
         t_new = controller.t + h
         geq_scale = 2.0 / h
-        a_base = batch.a_static + batch.cap_companion_matrix(geq_scale)
+        a_base = batch.companion_base(TRAPEZOIDAL, geq_scale)
         geq = batch.cap_c * geq_scale
 
         rhs = np.zeros((n_samples, n))
@@ -596,7 +614,8 @@ def _run_adaptive_batch(batch, x, tstop, dt, dt_min, dt_max, lte_tol,
 
         try:
             x_new, conv = newton_solve_batch(batch, a_base, rhs, x,
-                                             gmin=gmin, time=t_new)
+                                             gmin=gmin, time=t_new,
+                                             state=newton_state)
             if not conv.all():
                 bad = np.flatnonzero(~conv)
                 x_new[bad] = gmin_ladder_batch(batch, a_base[bad],

@@ -76,6 +76,98 @@ class TestMosfetProperties:
             float(i_p) + float(i_n)) < 1e-15
 
 
+def _level1_point(vd, vg, vs, sign, beta, vt, lam):
+    i, gm, gds, _ = evaluate_level1(vd, vg, vs, sign, beta, vt, lam)
+    return np.array([float(i), float(gm), float(gds)])
+
+
+class TestMosfetContinuity:
+    """The level-1 model is C0 across its region boundaries.
+
+    Discontinuities at ``vgs = vt`` or ``vds = vdsat`` would make the
+    Newton residual jump between iterations and defeat the
+    factorization-reuse solver's bypass logic, which assumes small
+    terminal-voltage moves produce small current moves.
+    """
+
+    EPS = 1e-7
+
+    @given(
+        sign=st.sampled_from([1.0, -1.0]),
+        beta=st.floats(min_value=1e-6, max_value=1e-3),
+        vt=st.floats(min_value=0.2, max_value=1.0),
+        lam=st.floats(min_value=0.0, max_value=0.2),
+        vds=st.floats(min_value=0.0, max_value=3.0),
+        vb=st.floats(min_value=-2.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_continuous_across_cutoff(self, sign, beta, vt, lam, vds,
+                                      vb):
+        """i, gm, gds are continuous through vgs = vt (both
+        polarities): straddling the threshold by +-eps moves every
+        output by at most O(beta * eps)."""
+        eps = self.EPS
+        below = _level1_point(sign * (vb + vds), sign * (vb + vt - eps),
+                              sign * vb, sign, beta, vt, lam)
+        above = _level1_point(sign * (vb + vds), sign * (vb + vt + eps),
+                              sign * vb, sign, beta, vt, lam)
+        # just above threshold: |i| <= 0.5*beta*eps^2*clm,
+        # gm <= beta*eps*clm, gds <= 0.5*beta*eps^2*lam; below, all 0
+        tol = beta * eps * (2.0 + lam * vds) + 1e-18
+        assert np.all(np.abs(above - below) <= tol)
+
+    @given(
+        sign=st.sampled_from([1.0, -1.0]),
+        beta=st.floats(min_value=1e-6, max_value=1e-3),
+        vt=st.floats(min_value=0.2, max_value=1.0),
+        lam=st.floats(min_value=0.0, max_value=0.2),
+        vov=st.floats(min_value=0.05, max_value=2.0),
+        vb=st.floats(min_value=-2.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_continuous_across_saturation(self, sign, beta, vt, lam,
+                                          vov, vb):
+        """i, gm, gds are continuous through vds = vdsat = vov (both
+        polarities): the triode and saturation branches agree at the
+        pinch-off boundary including the channel-length-modulation
+        term."""
+        eps = self.EPS
+        vg = vb + vt + vov
+        triode = _level1_point(sign * (vb + vov - eps), sign * vg,
+                               sign * vb, sign, beta, vt, lam)
+        sat = _level1_point(sign * (vb + vov + eps), sign * vg,
+                            sign * vb, sign, beta, vt, lam)
+        # worst first derivative near the boundary is ~beta*vov*clm,
+        # so a 2*eps straddle moves outputs by O(beta*vov*eps)
+        tol = beta * eps * (4.0 + 4.0 * vov * (1.0 + lam)) + 1e-18
+        assert np.all(np.abs(sat - triode) <= tol)
+
+    @given(
+        sign=st.sampled_from([1.0, -1.0]),
+        beta=st.floats(min_value=1e-6, max_value=1e-3),
+        vt=st.floats(min_value=0.2, max_value=1.0),
+        lam=st.floats(min_value=0.0, max_value=0.2),
+        vd=st.floats(min_value=-3.0, max_value=3.0),
+        vg=st.floats(min_value=-3.0, max_value=3.0),
+        vs=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fast_kernel_matches_reference(self, sign, beta, vt, lam,
+                                           vd, vg, vs):
+        """The branchless solver-fast-path kernel agrees with the
+        masked reference to rounding order everywhere."""
+        from repro.spice.mosfet import evaluate_level1_fast
+        ref = evaluate_level1(vd, vg, vs, sign, beta, vt, lam)
+        fast = evaluate_level1_fast(np.asarray(vd, dtype=float),
+                                    np.asarray(vg, dtype=float),
+                                    np.asarray(vs, dtype=float),
+                                    sign, beta, vt, lam)
+        for r, f in zip(ref[:3], fast[:3]):
+            scale = max(1.0, abs(float(r)))
+            assert abs(float(r) - float(f)) <= 1e-12 * scale
+        assert bool(ref[3]) == bool(fast[3])
+
+
 class TestPulseStimulusProperties:
     @given(
         v1=voltages, v2=voltages,
