@@ -29,7 +29,8 @@ import sys
 #: metric-name suffixes that are ratios (machine-independent).
 RATIO_HIGHER_IS_BETTER = ("speedup_vs_serial", "speedup_vs_exact",
                           "speedup_vs_sequential",
-                          "step_reduction_vs_fixed")
+                          "step_reduction_vs_fixed",
+                          "transient_reduction_vs_fixed")
 RATIO_LOWER_IS_BETTER = ("warm_over_cold",)
 
 #: absolute throughput metrics, only compared with ``--absolute``.

@@ -265,6 +265,115 @@ def test_perf_campaign_runtime(tmp_path):
     assert adaptive_steps_per_run * 2 <= fixed_steps_per_run
 
 
+def test_perf_adaptive_coverage():
+    """Adaptive-precision campaign vs blind fixed grid.
+
+    Runs the same coverage question twice — a fixed grid at full
+    population, and the sequential Wilson-interval campaign with
+    crossing refinement — and records the transient budget of each in
+    the ``adaptive_coverage`` section of ``BENCH_runtime.json``
+    (read-modify-write: the main runtime bench owns the rest of the
+    file).  The fair comparison is against the *matched-resolution*
+    grid: a blind grid dense enough to localise the crossing as tightly
+    as the refinement does.  Knob: ``REPRO_BENCH_ADAPTIVE_SAMPLES``
+    (default 8).
+    """
+    from repro.core.adaptive_coverage import adaptive_sweep
+    from repro.core.coverage import sweep_pulse_measurements
+    from repro.faults import ExternalOpen
+    from repro.montecarlo import sample_population
+    from repro.runtime import RunReport, Runtime, SerialExecutor
+
+    n_samples = int(os.environ.get("REPRO_BENCH_ADAPTIVE_SAMPLES", "8"))
+    samples = sample_population(n_samples, base_seed=7)
+    fault = ExternalOpen(2, 2e3)
+    grid = [1e3 * (40.0 ** (i / 4.0)) for i in range(5)]  # 1k..40k
+    rel_tol = 0.25
+    path_kwargs = dict(gate_kinds=("inv",) * 3)
+    measure_kwargs = dict(dt=8e-12, omega_in=0.40e-9, kind="h")
+
+    def decide(value, sample):
+        return value <= 0.0  # detected = pulse fully dampened
+
+    t0 = time.perf_counter()
+    rows = sweep_pulse_measurements(samples, fault, grid,
+                                    runtime=Runtime(
+                                        executor=SerialExecutor()),
+                                    **measure_kwargs, **path_kwargs)
+    fixed_s = time.perf_counter() - t0
+    fixed_transients = len(samples) * len(grid)
+    coverage = [sum(decide(row[j], s)
+                    for row, s in zip(rows, samples)) / len(samples)
+                for j in range(len(grid))]
+    fixed_rmin = next((r for r, c in zip(grid, coverage) if c >= 1.0),
+                      None)
+    assert fixed_rmin is not None, coverage
+
+    report = RunReport("bench-adaptive")
+    t0 = time.perf_counter()
+    result = adaptive_sweep(samples, fault, grid, decide, ci_width=0.2,
+                            min_wave=2, refine_rel_tol=rel_tol,
+                            runtime=Runtime(executor=SerialExecutor()),
+                            report=report, path_kwargs=path_kwargs,
+                            measure="pulse", **measure_kwargs)
+    adaptive_s = time.perf_counter() - t0
+    matched = result.matched_resolution_measurements(rel_tol)
+    adaptive_rmin = result.minimum_detectable_r(1.0)
+    assert adaptive_rmin is not None
+
+    # The refined crossing must sit inside the fixed grid's crossing
+    # interval (one grid step below fixed_rmin, up to fixed_rmin).
+    prev = max([r for r in grid if r < fixed_rmin] or [grid[0]])
+    crossing = result.crossings[1.0]
+    assert prev * (1 - 1e-9) <= crossing["lo"]
+    assert crossing["hi"] <= fixed_rmin * (1 + 1e-9)
+
+    section = {
+        "workload": {
+            "sweep": "external open C_pulse adaptive campaign",
+            "n_samples": n_samples, "resistances": grid,
+            "ci_width": 0.2, "refine_rel_tol": rel_tol,
+            "dt": measure_kwargs["dt"],
+            "omega_in": measure_kwargs["omega_in"],
+        },
+        "fixed_grid": {
+            "wall_time_s": fixed_s,
+            "transients": fixed_transients,
+            "minimum_detectable_r": fixed_rmin,
+        },
+        "adaptive": {
+            "wall_time_s": adaptive_s,
+            "transients": result.total_measurements,
+            "waves": result.waves,
+            "minimum_detectable_r": adaptive_rmin,
+            "crossing_lo": crossing["lo"],
+            "crossing_hi": crossing["hi"],
+        },
+        "matched_resolution_transients": matched,
+        "transient_reduction_vs_fixed":
+            matched / max(1, result.total_measurements),
+    }
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_runtime.json")
+    try:
+        with open(out) as handle:
+            full = json.load(handle)
+    except (OSError, ValueError):
+        full = {}
+    full["adaptive_coverage"] = section
+    with open(out, "w") as handle:
+        json.dump(full, handle, indent=2, sort_keys=True)
+    print("\nadaptive coverage bench: {} adaptive vs {} matched "
+          "transients (x{:.2f}), r_min {:.0f} ohm in [{:.0f}, {:.0f}]"
+          .format(result.total_measurements, matched,
+                  matched / max(1, result.total_measurements),
+                  adaptive_rmin, crossing["lo"], crossing["hi"]))
+
+    # The campaign must beat the matched-resolution blind grid by at
+    # least 30% — the acceptance gate of the adaptive engine.
+    assert result.total_measurements <= 0.7 * matched
+
+
 def test_perf_solver_fast_path():
     """Factorization-reuse solver speedup on wide paths.
 

@@ -8,8 +8,8 @@ import argparse
 import sys
 
 from . import __version__
-from .core.experiments import (ExperimentConfig, run_bridging_coverage,
-                               run_open_coverage,
+from .core.experiments import (ExperimentConfig, run_adaptive_coverage,
+                               run_bridging_coverage, run_open_coverage,
                                run_path_characterization,
                                run_transfer_experiment,
                                run_waveform_experiment)
@@ -79,6 +79,9 @@ def _cmd_coverage(args):
         config.solver = args.solver
     if args.trace:
         config.trace = args.trace
+    if (args.ci_width is not None or args.min_wave is not None
+            or args.refine_r is not None):
+        return _run_adaptive_coverage_cmd(args, config)
     if args.fault == "open":
         experiment = run_open_coverage(config)
     else:
@@ -103,6 +106,50 @@ def _cmd_coverage(args):
     if experiment.report is not None:
         print()
         print(experiment.report.format_report())
+    return _report_exit(args, experiment.report)
+
+
+def _run_adaptive_coverage_cmd(args, config):
+    """The adaptive-precision branch of the ``coverage`` verb."""
+    from .core.coverage import CoverageResult
+
+    kwargs = {}
+    if args.ci_width is not None:
+        kwargs["ci_width"] = args.ci_width
+    if args.min_wave is not None:
+        kwargs["min_wave"] = args.min_wave
+    if args.refine_r is not None:
+        kwargs["refine_rel_tol"] = args.refine_r
+    experiment = run_adaptive_coverage(config, fault=args.fault, **kwargs)
+    print("calibration: omega_in={:.0f}ps omega_th={:.0f}ps T*={:.0f}ps"
+          .format(experiment.calibration.omega_in * 1e12,
+                  experiment.calibration.omega_th * 1e12,
+                  experiment.dftest.t_star * 1e12))
+    for title, sweep, curves in (
+            ("C_pulse (proposed method)", experiment.pulse_sweep,
+             experiment.pulse_curves),
+            ("C_del (reduced-clock DF testing)", experiment.delay_sweep,
+             experiment.delay_curves)):
+        print("\n{} — adaptive grid, per-point n in [{}, {}]".format(
+            title, min(sweep.ns), max(sweep.ns)))
+        print(coverage_table(
+            CoverageResult(sweep.resistances, curves, sweep.raw())))
+        for target in sorted(sweep.crossings):
+            crossing = sweep.crossings[target]
+            print("coverage {:.0%} crossing localised to "
+                  "[{:.0f}, {:.0f}] ohm (detected at {:.0f})".format(
+                      target, crossing["lo"], crossing["hi"],
+                      crossing["detected_at"]))
+    transients = experiment.transients
+    print("\ntransients: {} adaptive vs {} fixed-grid default vs {} "
+          "matched-resolution grid ({:.0%} saved)".format(
+              transients["adaptive"], transients["fixed_grid"],
+              transients["matched_resolution"],
+              experiment.reduction_vs_matched()))
+    if experiment.report is not None:
+        print()
+        print(experiment.report.format_report())
+        print("escalation waves: {}".format(experiment.report.waves))
     return _report_exit(args, experiment.report)
 
 
@@ -432,6 +479,21 @@ def build_parser():
     p.add_argument("--trace", default=None,
                    help="append one JSONL event per executed task to "
                         "this file (default: REPRO_TRACE or off)")
+    p.add_argument("--ci-width", type=float, default=None,
+                   help="adaptive campaign: stop sampling an R point "
+                        "once its Wilson CI half-width falls below this "
+                        "(enables the adaptive-precision engine; "
+                        "default 0.15)")
+    p.add_argument("--min-wave", type=int, default=None,
+                   help="adaptive campaign: samples in the first "
+                        "escalation wave (doubles until the full "
+                        "population; enables the adaptive engine; "
+                        "default 8)")
+    p.add_argument("--refine-r", type=float, default=None,
+                   help="adaptive campaign: relative tolerance the "
+                        "coverage-crossing bisection drives the R "
+                        "bracket to (enables the adaptive engine; "
+                        "default 0.1)")
     p.add_argument("--fail-on-errors", default=True,
                    action=argparse.BooleanOptionalAction,
                    help="exit nonzero when any task failed or timed out "

@@ -1,9 +1,12 @@
 """The paper's contribution: pulse-propagation testing of small delay
 defects — measurement, sensing, calibration and coverage experiments."""
 
-from .experiments import (CoverageExperiment, ExperimentConfig,
-                          PathCharacterization, TransferExperiment,
-                          WaveformExperiment, run_bridging_coverage,
+from .adaptive_coverage import (AdaptiveSweepResult, PointState,
+                                adaptive_sweep, subsample_grid)
+from .experiments import (AdaptiveCoverageExperiment, CoverageExperiment,
+                          ExperimentConfig, PathCharacterization,
+                          TransferExperiment, WaveformExperiment,
+                          run_adaptive_coverage, run_bridging_coverage,
                           run_open_coverage, run_path_characterization,
                           run_transfer_experiment, run_waveform_experiment)
 from .calibration import (PulseTestCalibration, calibrate_delay_test,
@@ -39,6 +42,9 @@ __all__ = [
     "run_waveform_experiment", "run_open_coverage",
     "run_bridging_coverage", "run_transfer_experiment",
     "run_path_characterization",
+    "AdaptiveSweepResult", "PointState", "adaptive_sweep",
+    "subsample_grid", "AdaptiveCoverageExperiment",
+    "run_adaptive_coverage",
     "GeneratedPulseTest", "degraded_transition", "select_pulse_kind",
     "estimate_r_min", "generate_pulse_test",
     "bridging_critical_resistance", "static_levels_correct",

@@ -14,9 +14,10 @@ from ..dft import FlipFlopTiming, calibrate_t_star
 from ..montecarlo import NominalModel
 from ..runtime import CacheMiss, Runtime, engine_cache_tag, stable_hash
 from ..spice.mna import resolve_solver_mode
-from .pulse import (build_instance, measure_output_pulse,
-                    measure_output_pulse_batch, measure_path_delay,
-                    measure_path_delay_batch, transient_kwargs)
+from .pulse import (assert_chunk_compatible, build_instance,
+                    measure_output_pulse, measure_output_pulse_batch,
+                    measure_path_delay, measure_path_delay_batch,
+                    transient_kwargs)
 from .sensing import PulseDetector
 from .transfer import (TransferCurve, characterize_transfer,
                        default_w_in_grid, recommended_w_in)
@@ -57,9 +58,17 @@ def _build_chunk_instances(payloads):
             for p in payloads]
 
 
+#: payload fields every member of one fault-free lockstep chunk must
+#: agree on (the chunk tasks read them from their first payload)
+CALIBRATION_CHUNK_FIELDS = ("dt", "adaptive", "lte_tol", "solver",
+                            "omega_in", "kind", "direction", "fault")
+
+
 def _fault_free_pulse_chunk_task(payloads):
     """Batched worker: a chunk of fault-free w_out measurements in
     lockstep."""
+    assert_chunk_compatible(payloads, CALIBRATION_CHUNK_FIELDS,
+                            task="fault-free pulse chunk")
     first = payloads[0]
     kwargs = _grid_kwargs(first)
     paths = _build_chunk_instances(payloads)
@@ -70,6 +79,8 @@ def _fault_free_pulse_chunk_task(payloads):
 
 def _fault_free_delay_chunk_task(payloads):
     """Batched worker: a chunk of fault-free path delays in lockstep."""
+    assert_chunk_compatible(payloads, CALIBRATION_CHUNK_FIELDS,
+                            task="fault-free delay chunk")
     first = payloads[0]
     kwargs = _grid_kwargs(first)
     paths = _build_chunk_instances(payloads)
@@ -80,16 +91,32 @@ def _fault_free_delay_chunk_task(payloads):
 
 
 def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
-                      path_kwargs, runtime):
+                      path_kwargs, runtime, adaptive=False, lte_tol=None,
+                      solver=None):
     """Nominal transfer curve, memoised in the runtime's result cache
-    (it is the fixed, sample-independent part of every calibration)."""
+    (it is the fixed, sample-independent part of every calibration).
+
+    The time-grid/solver knobs are threaded through to
+    :func:`characterize_transfer` and into the cache key: an earlier
+    version characterised the nominal curve on the fixed-grid default
+    solver no matter what the caller asked for, and keyed the cache on
+    the grid alone — so an exact-solver curve could be served to a
+    reuse-solver calibration, and an adaptive calibration picked ω_in*
+    from a fixed-grid curve, i.e. on a different time grid than the
+    population it calibrates.  The key gains the standard
+    :func:`~repro.runtime.engine_cache_tag` tokens; fixed-grid
+    exact-solver curves contribute no tokens, so their pre-existing
+    cache entries stay valid.
+    """
+    solver = resolve_solver_mode(solver)
     cache = None if runtime is None else runtime.cache
     key = None
     if cache is not None:
         resolved_tech = default_technology() if tech is None else tech
+        tag = engine_cache_tag("scalar", adaptive, lte_tol, solver)
         key = stable_hash("nominal-transfer", resolved_tech, fault,
                           [float(w) for w in w_in_grid], kind, dt,
-                          path_kwargs)
+                          path_kwargs, *tag)
         try:
             stored = cache.get(key)
         except CacheMiss:
@@ -97,7 +124,9 @@ def _nominal_transfer(builder, w_in_grid, kind, dt, fault, tech,
         else:
             return TransferCurve(stored["w_in"], stored["w_out"],
                                  kind=kind)
-    curve = characterize_transfer(builder, w_in_grid, kind=kind, dt=dt)
+    curve = characterize_transfer(builder, w_in_grid, kind=kind, dt=dt,
+                                  adaptive=adaptive, lte_tol=lte_tol,
+                                  solver=solver)
     if key is not None:
         cache.put(key, {"w_in": [float(w) for w in curve.w_in],
                         "w_out": [float(w) for w in curve.w_out]})
@@ -186,7 +215,9 @@ def calibrate_pulse_test(samples, fault=None, tech=None, kind="h",
                               **path_kwargs)
 
     curve = _nominal_transfer(nominal_builder, w_in_grid, kind, dt,
-                              fault, tech, path_kwargs, runtime)
+                              fault, tech, path_kwargs, runtime,
+                              adaptive=adaptive, lte_tol=lte_tol,
+                              solver=solver)
     if omega_in is None:
         omega_in = recommended_w_in(curve, margin=margin)
 

@@ -23,45 +23,85 @@ from ..faults import FaultSpec, inject, set_fault_resistance
 from ..montecarlo import run_population, wilson_interval
 from ..runtime import Runtime, engine_cache_tag, stable_hash
 from ..spice.mna import resolve_solver_mode
-from .pulse import (build_instance, measure_output_pulse,
-                    measure_output_pulse_batch, measure_path_delay,
-                    measure_path_delay_batch)
+from .pulse import (assert_chunk_compatible, build_instance,
+                    measure_output_pulse, measure_output_pulse_batch,
+                    measure_path_delay, measure_path_delay_batch,
+                    transient_kwargs)
 
 
 class CoverageCurve:
     """C(R) for one test-parameter setting.
 
-    Stores the integer detection counts (``hits``) per R point; the
-    coverage fractions are derived from them.  An earlier version stored
-    only the float ratios and reconstructed hit counts for the Wilson
-    intervals via ``round(c * n_samples)`` — information loss that
-    silently mis-binned averaged or externally-supplied ratios (e.g.
-    0.375 of 4 banker's-rounds to 2 hits).  Keeping the counts makes the
-    intervals exact by construction.
+    Stores per-R ``(hits, n)`` pairs; the coverage fractions are derived
+    from them.  An earlier version stored only the float ratios and
+    reconstructed hit counts for the Wilson intervals via
+    ``round(c * n_samples)`` — information loss that silently mis-binned
+    averaged or externally-supplied ratios (e.g. 0.375 of 4
+    banker's-rounds to 2 hits).  Keeping the counts makes the intervals
+    exact by construction.
+
+    ``n_samples`` is an int for the classic uniform-population sweep
+    (every R point measured on the full population) or a per-point
+    sequence for adaptive-precision campaigns, where sequential sample
+    allocation stops easy points early.  The Wilson intervals always use
+    each point's own ``n``, so variable-n curves report exact error
+    bars, not a uniform approximation.
     """
 
     def __init__(self, label, resistances, hits, n_samples):
         self.label = label
         self.resistances = list(resistances)
-        self.n_samples = int(n_samples)
-        if self.n_samples <= 0:
-            raise ValueError("n_samples must be positive")
+        if isinstance(n_samples, (int, float)):
+            ns = [n_samples] * len(self.resistances)
+        else:
+            ns = list(n_samples)
+        if len(ns) != len(self.resistances):
+            raise ValueError(
+                "need one n per R point, got {} for {} points".format(
+                    len(ns), len(self.resistances)))
+        self.ns = []
+        for n in ns:
+            if n != int(n) or int(n) <= 0:
+                raise ValueError(
+                    "n_samples must be positive integers, got {!r}"
+                    .format(n))
+            self.ns.append(int(n))
+        #: largest per-point population (== the population size for
+        #: uniform curves); kept as an int attribute for compatibility
+        self.n_samples = max(self.ns) if self.ns else int(n_samples)
         self.hits = []
-        for h in hits:
+        for h, n in zip(self._check_length(hits), self.ns):
             if h != int(h):
                 raise ValueError(
                     "hit counts must be integers, got {!r} (pass the raw "
                     "detection counts, not coverage ratios)".format(h))
             h = int(h)
-            if not 0 <= h <= self.n_samples:
+            if not 0 <= h <= n:
                 raise ValueError(
-                    "hit count {} outside [0, n_samples={}]".format(
-                        h, self.n_samples))
+                    "hit count {} outside [0, n={}]".format(h, n))
             self.hits.append(h)
-        self.coverage = [h / self.n_samples for h in self.hits]
+        self.coverage = [h / n for h, n in zip(self.hits, self.ns)]
+
+    def _check_length(self, hits):
+        hits = list(hits)
+        if len(hits) != len(self.resistances):
+            raise ValueError(
+                "need one hit count per R point, got {} for {} points"
+                .format(len(hits), len(self.resistances)))
+        return hits
+
+    @property
+    def uniform(self):
+        """True when every R point was measured on the same population."""
+        return len(set(self.ns)) <= 1
 
     def confidence_intervals(self):
-        return [wilson_interval(h, self.n_samples) for h in self.hits]
+        return [wilson_interval(h, n)
+                for h, n in zip(self.hits, self.ns)]
+
+    def halfwidths(self):
+        """Per-point Wilson half-widths (the adaptive stopping metric)."""
+        return [0.5 * (hi - lo) for lo, hi in self.confidence_intervals()]
 
     def minimum_detectable_r(self, target=1.0):
         """Smallest sampled R with coverage >= target (None if never)."""
@@ -71,8 +111,10 @@ class CoverageCurve:
         return None
 
     def __repr__(self):
-        return "CoverageCurve({!r}, {} R points, n={})".format(
-            self.label, len(self.resistances), self.n_samples)
+        n = ("n={}".format(self.n_samples) if self.uniform
+             else "n={}..{}".format(min(self.ns), max(self.ns)))
+        return "CoverageCurve({!r}, {} R points, {})".format(
+            self.label, len(self.resistances), n)
 
 
 class CoverageResult:
@@ -130,9 +172,18 @@ def _sweep_row_task(payload):
     return row
 
 
+#: payload fields every member of one lockstep sweep chunk must agree on
+#: (the chunk task applies the first payload's settings to all samples)
+SWEEP_CHUNK_FIELDS = ("measure", "resistances", "dt", "adaptive",
+                      "lte_tol", "solver", "omega_in", "kind",
+                      "direction", "fault")
+
+
 def _sweep_chunk_task(payloads):
     """Batched variant of :func:`_sweep_row_task`: one chunk of samples
     simulated in lockstep per resistance point."""
+    assert_chunk_compatible(payloads, SWEEP_CHUNK_FIELDS,
+                            task="sweep chunk")
     first = payloads[0]
     resistances = first["resistances"]
     kwargs = _measure_kwargs(first)
@@ -156,6 +207,26 @@ def _sweep_chunk_task(payloads):
         for row, value in zip(rows, values):
             row.append(float(value))
     return rows
+
+
+def _legacy_measure_kwargs(dt, adaptive, lte_tol, solver, engine):
+    """Measurement kwargs for the legacy ``r -> FaultSpec`` callable path.
+
+    An earlier version built ``{"dt": dt}`` by hand and silently dropped
+    the ``adaptive``/``lte_tol``/``solver`` knobs (and ignored
+    ``engine="batched"`` outright), so a legacy-callable sweep quietly
+    measured on a different grid and solver than the FaultSpec path of
+    the same campaign.  Legacy callables stay serial and in-process, but
+    they honour every measurement setting.
+    """
+    if engine == "batched":
+        raise ValueError(
+            "engine='batched' requires a picklable FaultSpec prototype; "
+            "legacy r -> FaultSpec callables run on the scalar engine "
+            "only")
+    kwargs = {} if dt is None else {"dt": dt}
+    kwargs.update(transient_kwargs(adaptive, lte_tol, solver=solver))
+    return kwargs
 
 
 def build_sweep_payloads(samples, fault, resistances, tech=None, dt=None,
@@ -239,7 +310,8 @@ def sweep_pulse_measurements(samples, fault_family, resistances,
     of ``batch_size`` samples in lockstep (FaultSpec prototypes only).
     """
     if not isinstance(fault_family, FaultSpec):
-        kwargs = {} if dt is None else {"dt": dt}
+        kwargs = _legacy_measure_kwargs(dt, adaptive, lte_tol, solver,
+                                        engine)
 
         def worker(sample):
             base = build_instance(sample=sample, tech=tech, **path_kwargs)
@@ -268,7 +340,8 @@ def sweep_delay_measurements(samples, fault_family, resistances,
                              lte_tol=None, solver=None, **path_kwargs):
     """Per-sample, per-R path delays for a fault family."""
     if not isinstance(fault_family, FaultSpec):
-        kwargs = {} if dt is None else {"dt": dt}
+        kwargs = _legacy_measure_kwargs(dt, adaptive, lte_tol, solver,
+                                        engine)
 
         def worker(sample):
             base = build_instance(sample=sample, tech=tech, **path_kwargs)

@@ -16,6 +16,9 @@ from ..faults import (BridgingFault, ExternalOpen, InternalOpen, PULL_UP,
                       inject)
 from ..montecarlo import NominalModel, sample_population
 from ..runtime import Runtime, RunReport, stable_hash
+from .adaptive_coverage import (DEFAULT_CI_WIDTH, DEFAULT_MIN_WAVE,
+                                DEFAULT_REFINE_REL_TOL,
+                                DEFAULT_REFINE_TARGETS, adaptive_sweep)
 from .calibration import calibrate_delay_test, calibrate_pulse_test
 from .coverage import (delay_coverage, pulse_coverage,
                        sweep_delay_measurements, sweep_pulse_measurements)
@@ -289,6 +292,137 @@ def run_bridging_coverage(config=None, tech=None, runtime=None):
         config, tech, BridgingFault(config.fault_stage,
                                     config.bridging_resistances[0]),
         config.bridging_resistances, "bridging-coverage", runtime)
+
+
+# ----------------------------------------------------------------------
+# Adaptive-precision coverage campaigns (sequential CI + refinement)
+# ----------------------------------------------------------------------
+
+class AdaptiveCoverageExperiment:
+    """Both methods' adaptively-sampled coverage vs resistance.
+
+    ``pulse_curves``/``delay_curves`` hold variable-n
+    :class:`~repro.core.coverage.CoverageCurve` objects for the same
+    threshold-factor settings as the fixed-grid campaign, all derived
+    from the adaptive sweeps' raw measurements.  ``transients`` is the
+    budget accounting: the (sample, R) transients the adaptive plan
+    actually asked for vs. what the blind fixed grids would have cost.
+    """
+
+    def __init__(self, pulse_sweep, delay_sweep, pulse_curves,
+                 delay_curves, calibration, dftest, samples, report,
+                 transients):
+        self.pulse_sweep = pulse_sweep
+        self.delay_sweep = delay_sweep
+        self.pulse_curves = dict(pulse_curves)
+        self.delay_curves = dict(delay_curves)
+        self.calibration = calibration
+        self.dftest = dftest
+        self.samples = list(samples)
+        self.report = report
+        #: ``{"adaptive": n, "fixed_grid": n, "matched_resolution": n}``
+        self.transients = dict(transients)
+
+    def minimum_detectable_r(self, method="pulse", target=1.0):
+        sweep = self.pulse_sweep if method == "pulse" else self.delay_sweep
+        return sweep.minimum_detectable_r(target)
+
+    def reduction_vs_matched(self):
+        """Fraction of transients saved vs. the matched-resolution
+        fixed grid (the acceptance metric)."""
+        matched = self.transients["matched_resolution"]
+        return 1.0 - self.transients["adaptive"] / matched
+
+    def __repr__(self):
+        return ("AdaptiveCoverageExperiment({} adaptive transients vs "
+                "{} matched-grid)").format(
+                    self.transients["adaptive"],
+                    self.transients["matched_resolution"])
+
+
+def run_adaptive_coverage(config=None, tech=None, runtime=None,
+                          fault="open", ci_width=DEFAULT_CI_WIDTH,
+                          min_wave=DEFAULT_MIN_WAVE,
+                          refine_rel_tol=DEFAULT_REFINE_REL_TOL,
+                          refine_targets=DEFAULT_REFINE_TARGETS,
+                          threshold_factors=(0.9, 1.0, 1.1)):
+    """Adaptive-precision replacement for the Figs. 6-9 campaigns.
+
+    Calibrates both tests exactly like :func:`run_open_coverage` /
+    :func:`run_bridging_coverage`, then replaces the blind fixed-grid
+    population sweeps with :func:`~repro.core.adaptive_coverage
+    .adaptive_sweep`: escalating sample waves per R point (stop at
+    Wilson half-width <= ``ci_width``) and geometric bisection of the
+    ``refine_targets`` coverage crossings to ``refine_rel_tol``.  The
+    primary (factor 1.0) decision drives the allocation; the other
+    ``threshold_factors`` curves are derived from the same raw values.
+    """
+    config = ExperimentConfig.from_env() if config is None else config
+    samples = config.samples()
+    runtime = config.runtime() if runtime is None else runtime
+    if fault == "open":
+        grid = config.rop_resistances
+        proto = ExternalOpen(config.fault_stage, grid[0])
+    elif fault == "bridging":
+        grid = config.bridging_resistances
+        proto = BridgingFault(config.fault_stage, grid[0])
+    else:
+        raise ValueError("unknown fault {!r} (open or bridging)"
+                         .format(fault))
+    label = "adaptive-{}-coverage".format(fault)
+    report = RunReport(label)
+
+    engine_kwargs = dict(engine=config.engine, solver=config.solver,
+                         batch_size=config.batch_size,
+                         adaptive=config.adaptive, lte_tol=config.lte_tol)
+    calibration = calibrate_pulse_test(samples, tech=tech, dt=config.dt,
+                                       runtime=runtime, report=report,
+                                       **engine_kwargs)
+    dftest, _ = calibrate_delay_test(samples, tech=tech, dt=config.dt,
+                                     runtime=runtime, report=report,
+                                     **engine_kwargs)
+
+    sweep_kwargs = dict(ci_width=ci_width, min_wave=min_wave,
+                        refine_targets=refine_targets,
+                        refine_rel_tol=refine_rel_tol, tech=tech,
+                        dt=config.dt, runtime=runtime, report=report,
+                        **engine_kwargs)
+    detector = calibration.detector
+    pulse_sweep = adaptive_sweep(
+        samples, proto, grid,
+        lambda value, sample: detector.fault_detected(value),
+        label=label + "-pulse", measure="pulse",
+        omega_in=float(calibration.omega_in), kind="h", **sweep_kwargs)
+    delay_sweep = adaptive_sweep(
+        samples, proto, grid,
+        lambda value, sample: dftest.detects(value, sample=sample,
+                                             t_factor=1.0),
+        label=label + "-delay", measure="delay", direction="rise",
+        **sweep_kwargs)
+
+    pulse_curves, delay_curves = {}, {}
+    for factor in threshold_factors:
+        scaled = detector.scaled(factor)
+        name = "{:.1f}*w_th".format(factor)
+        pulse_curves[name] = pulse_sweep.curve(
+            name, lambda value, sample, d=scaled: d.fault_detected(value))
+        name = "{:.1f}*T".format(factor)
+        delay_curves[name] = delay_sweep.curve(
+            name, lambda value, sample, f=factor: dftest.detects(
+                value, sample=sample, t_factor=f))
+
+    transients = {
+        "adaptive": (pulse_sweep.total_measurements
+                     + delay_sweep.total_measurements),
+        "fixed_grid": (pulse_sweep.fixed_grid_measurements
+                       + delay_sweep.fixed_grid_measurements),
+        "matched_resolution": (
+            pulse_sweep.matched_resolution_measurements(refine_rel_tol)
+            + delay_sweep.matched_resolution_measurements(refine_rel_tol)),
+    }
+    return AdaptiveCoverageExperiment(
+        pulse_sweep, delay_sweep, pulse_curves, delay_curves,
+        calibration, dftest, samples, report, transients)
 
 
 # ----------------------------------------------------------------------

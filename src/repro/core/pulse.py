@@ -51,6 +51,47 @@ def transient_kwargs(adaptive=False, lte_tol=None, dt_min=None,
     return kwargs
 
 
+def chunk_signature(payload, fields):
+    """Cheap comparable signature of one chunk payload's shared settings.
+
+    Lists become tuples and fault specs their ``repr`` (kind + stage +
+    resistance) so payloads built by different producers — e.g. two
+    service jobs coalesced into one lockstep batch — compare by value,
+    not identity.
+    """
+    sig = []
+    for field in fields:
+        value = payload.get(field)
+        if isinstance(value, (list, tuple)):
+            value = tuple(float(v) if isinstance(v, (int, float)) else v
+                          for v in value)
+        elif value is not None and field == "fault":
+            value = repr(value)
+        sig.append((field, value))
+    return tuple(sig)
+
+
+def assert_chunk_compatible(payloads, fields, task="chunk task"):
+    """Fail loudly when a chunk mixes incompatible measurement settings.
+
+    The lockstep chunk tasks read every measurement setting from their
+    first payload; a mis-grouped chunk would otherwise silently measure
+    every sample with the first payload's settings.  Raises
+    ``ValueError`` naming the first differing field.
+    """
+    first = chunk_signature(payloads[0], fields)
+    for position, payload in enumerate(payloads[1:], start=1):
+        sig = chunk_signature(payload, fields)
+        if sig == first:
+            continue
+        diffs = ["{}: {!r} != {!r}".format(field, got, want)
+                 for (field, want), (_, got) in zip(first, sig)
+                 if want != got]
+        raise ValueError(
+            "incompatible payloads in one {}: payload {} differs from "
+            "payload 0 on {}".format(task, position, "; ".join(diffs)))
+
+
 def build_instance(sample=None, fault=None, tech=None, **path_kwargs):
     """Build one (possibly faulty) circuit instance.
 

@@ -14,7 +14,7 @@ The test-generation rule of Sec. 5 places the injected width ω_in at the
 
 import numpy as np
 
-from .pulse import measure_output_pulse
+from .pulse import measure_output_pulse, transient_kwargs
 
 
 class TransferCurve:
@@ -85,14 +85,19 @@ def default_w_in_grid(tech=None, n_points=13):
     return np.linspace(0.10e-9, 0.70e-9, n_points)
 
 
-def characterize_transfer(path_builder, w_in_values, kind="h", dt=None):
+def characterize_transfer(path_builder, w_in_values, kind="h", dt=None,
+                          adaptive=False, lte_tol=None, solver=None):
     """Measure the transfer curve of the path built by ``path_builder``.
 
     ``path_builder`` is a zero-argument callable returning a fresh
     :class:`~repro.cells.PathCircuit` (fresh because the stimulus is
-    mutated per measurement point).
+    mutated per measurement point).  The time-grid/solver knobs mirror
+    :func:`~repro.core.pulse.measure_output_pulse` so a calibration can
+    characterise its nominal curve on the same grid and solver as the
+    population it calibrates.
     """
     kwargs = {} if dt is None else {"dt": dt}
+    kwargs.update(transient_kwargs(adaptive, lte_tol, solver=solver))
     w_out = []
     for w in w_in_values:
         path = path_builder()

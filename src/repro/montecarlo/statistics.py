@@ -49,3 +49,55 @@ def wilson_interval(hits, total, z=1.96):
     half = (z * math.sqrt(p * (1 - p) / total
                           + z * z / (4 * total * total))) / denom
     return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def wilson_halfwidth(hits, total, z=1.96):
+    """Half the Wilson interval's width (the adaptive campaigns' per-point
+    precision measure).
+
+    The interval is clipped to [0, 1], so near the boundaries the
+    half-width is smaller than the unclipped ``half`` term — exactly the
+    quantity a sequential stopping rule should compare against a target
+    precision, because the clipped interval is what gets reported.
+    """
+    lo, hi = wilson_interval(hits, total, z=z)
+    return 0.5 * (hi - lo)
+
+
+def wilson_excludes(hits, total, target, z=1.96):
+    """True when the Wilson interval lies entirely on one side of
+    ``target`` — the point's above/below-target question is answered.
+
+    Boundary targets are decided by counts, not by the interval: the
+    clipped interval always touches 0.0/1.0, so "coverage reaches 1.0"
+    is conclusively false as soon as one sample misses (and symmetrically
+    for 0.0), never conclusively true.
+    """
+    if target >= 1.0:
+        return hits < total
+    if target <= 0.0:
+        return hits > 0
+    lo, hi = wilson_interval(hits, total, z=z)
+    return hi < target or lo > target
+
+
+def samples_for_halfwidth(width, z=1.96):
+    """Smallest n with a worst-case (p = 0.5) Wilson half-width <= width.
+
+    Sizes the escalation-wave ceiling of an adaptive campaign: beyond
+    this population even the hardest point stops on precision rather
+    than on sample exhaustion.
+    """
+    if not 0.0 < width < 0.5:
+        raise ValueError("width must lie in (0, 0.5)")
+    n = 1
+    while wilson_halfwidth(n - n // 2, n, z=z) > width:
+        n *= 2
+    lo, hi = n // 2, n
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if wilson_halfwidth(mid - mid // 2, mid, z=z) > width:
+            lo = mid
+        else:
+            hi = mid
+    return hi

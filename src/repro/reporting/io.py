@@ -33,8 +33,18 @@ def transfer_curve_to_csv(curve, path):
 
 
 def coverage_result_to_dict(result):
-    """JSON-ready dict of a :class:`~repro.core.CoverageResult`."""
-    return {
+    """JSON-ready dict of a :class:`~repro.core.CoverageResult`.
+
+    Schema 1.1: the additive ``n`` section carries each curve's
+    per-point population — adaptive-precision campaigns stop easy R
+    points early, so their curves have a different n per point.  The
+    legacy ``n_samples`` scalar (the largest per-point n) stays for 1.0
+    readers, which simply overstate the error bars of early-stopped
+    points.
+    """
+    from ..runtime.schema import stamp
+
+    return stamp({
         "resistances": [float(r) for r in result.resistances],
         "curves": {
             label: [float(c) for c in result.curve(label).coverage]
@@ -48,7 +58,11 @@ def coverage_result_to_dict(result):
             label: result.curve(label).n_samples
             for label in result.labels()
         },
-    }
+        "n": {
+            label: [int(n) for n in result.curve(label).ns]
+            for label in result.labels()
+        },
+    })
 
 
 def coverage_result_to_json(result, path):

@@ -16,7 +16,9 @@ are grandfathered in as major 1 (their shape *is* the 1.x shape).
 """
 
 #: version stamped on every record written by this tree
-SCHEMA_VERSION = "1.0"
+#: (1.1: additive ``waves`` field on run-report summaries, per-point
+#: ``n`` section on coverage-result exports)
+SCHEMA_VERSION = "1.1"
 
 #: majors this tree knows how to read
 KNOWN_MAJORS = (1,)

@@ -50,6 +50,9 @@ class RunReport:
         self.durations = []
         #: aggregated solver effort across every executed task
         self.solver = SolverStats()
+        #: escalation waves folded into this report (adaptive-precision
+        #: campaigns submit one :meth:`Runtime.run` per wave)
+        self.waves = 0
         #: ``{exception class name: count}``
         self.failure_taxonomy = Counter()
         self._t_start = None
@@ -76,6 +79,11 @@ class RunReport:
         self.cache_hits += 1
         if resumed:
             self.resumed += 1
+
+    def record_wave(self, count=1):
+        """Book ``count`` escalation waves (sequential-allocation runs
+        folded into this report by an adaptive-precision campaign)."""
+        self.waves += count
 
     def record_outcome(self, outcome, n_items=1):
         """Fold one executor :class:`TaskOutcome` into the counters.
@@ -172,6 +180,7 @@ class RunReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "resumed": self.resumed,
+            "waves": self.waves,
             "wall_time_s": self.wall_time,
             "samples_per_second": self.samples_per_second(),
             "task_time_total_s": sum(durations),

@@ -14,9 +14,12 @@ jobs' samples to share a lockstep chunk:
   first payload and applies them to every sample in the chunk;
 * same fault kind and stage — injection changes the circuit topology,
   and the batch compiler stacks only topology-identical circuits;
-* same time-grid discipline (``dt``, ``adaptive``, ``lte_tol``) — the
-  cache-compatible engine tag of
-  :func:`repro.runtime.engine_cache_tag`.
+* same time-grid discipline (``dt``, ``adaptive``, ``lte_tol``) and
+  Newton solver mode — the cache-compatible engine tag of
+  :func:`repro.runtime.engine_cache_tag`.  The solver is *resolved*
+  (None -> the host's effective default) before hashing, so an
+  explicit ``solver="reuse"`` coalesces with an unset solver on a
+  default-configured host but never with ``solver="exact"``.
 
 ``n_samples``, ``seed``, ``priority`` and ``batch_size`` are *not*
 part of the signature: they vary freely across coalesced jobs.
@@ -31,6 +34,8 @@ from .runners import sweep_payloads
 
 def sweep_signature(spec):
     """Coalescing key for a normalized sweep spec (None if not a sweep)."""
+    from ..spice.mna import resolve_solver_mode
+
     if spec.get("kind") != "sweep":
         return None
     return stable_hash(
@@ -40,7 +45,8 @@ def sweep_signature(spec):
         spec.get("direction"),
         spec.get("fault"), spec.get("stage"),
         [float(r) for r in spec["resistances"]],
-        spec.get("dt"), bool(spec.get("adaptive")), spec.get("lte_tol"))
+        spec.get("dt"), bool(spec.get("adaptive")), spec.get("lte_tol"),
+        resolve_solver_mode(spec.get("solver")))
 
 
 def compatible(spec_a, spec_b):

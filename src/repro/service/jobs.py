@@ -161,6 +161,9 @@ def normalize_spec(spec):
         resistances = [float(r) for r in resistances]
     except (TypeError, ValueError):
         raise SpecError("'resistances' must be numbers") from None
+    solver = spec.get("solver")
+    _require(solver is None or solver in ("exact", "reuse"),
+             "solver must be 'exact' or 'reuse', got {!r}".format(solver))
     out = {
         "kind": kind,
         "measure": measure,
@@ -172,6 +175,7 @@ def normalize_spec(spec):
         "dt": _as_float(spec, "dt", default=5e-12),
         "adaptive": bool(spec.get("adaptive", False)),
         "lte_tol": _as_float(spec, "lte_tol"),
+        "solver": solver,
         "batch_size": _as_int(spec, "batch_size", minimum=1),
     }
     if measure == "pulse":

@@ -42,6 +42,7 @@ def execute_spec(spec, runtime, progress=None):
 def _curves_payload(result):
     return {label: {"resistances": curve.resistances,
                     "hits": curve.hits,
+                    "n": curve.ns,
                     "coverage": curve.coverage}
             for label, curve in result.curves.items()}
 
@@ -161,7 +162,8 @@ def sweep_payloads(spec, with_keys=True):
         samples, sweep_fault(spec), spec["resistances"],
         dt=spec.get("dt"), engine="batched",
         adaptive=bool(spec.get("adaptive")), lte_tol=spec.get("lte_tol"),
-        with_keys=with_keys, **sweep_measure_spec(spec))
+        solver=spec.get("solver"), with_keys=with_keys,
+        **sweep_measure_spec(spec))
 
 
 def _run_sweep(spec, runtime, progress):

@@ -57,6 +57,111 @@ class TestPulseCalibration:
                                  dt=DT, omega_in=0.15e-9)
 
 
+class TestNominalTransferCache:
+    """`_nominal_transfer` must key its memoised curve on the time-grid
+    and solver settings: an exact-solver curve used to be served to a
+    reuse-solver calibration, and an adaptive calibration picked its
+    omega_in* from a fixed-grid curve."""
+
+    GRID = [0.30e-9, 0.50e-9]
+    PATH = dict(gate_kinds=("inv",) * 3)
+
+    def _characterize(self, runtime, calls, **kwargs):
+        from repro.core.calibration import _nominal_transfer
+        from repro.montecarlo import NominalModel
+
+        def builder():
+            calls.append(1)
+            return build_instance(sample=NominalModel(),
+                                  **dict(self.PATH))
+
+        return _nominal_transfer(builder, self.GRID, "h", DT, None, None,
+                                 dict(self.PATH), runtime, **kwargs)
+
+    def _runtime(self, tmp_path):
+        from repro.runtime import Runtime
+
+        return Runtime(cache=str(tmp_path / "cache"))
+
+    def test_solver_modes_do_not_alias(self, tmp_path):
+        from repro.spice.mna import scipy_available
+
+        if not scipy_available():
+            pytest.skip("reuse solver needs scipy (degrades to exact, "
+                        "which aliases by design)")
+        runtime = self._runtime(tmp_path)
+        calls = []
+        self._characterize(runtime, calls, solver="exact")
+        first = len(calls)
+        assert first > 0
+        # a different solver must miss the cache and recharacterise
+        self._characterize(runtime, calls, solver="reuse")
+        assert len(calls) == 2 * first
+        # ... and the same solver must now hit
+        self._characterize(runtime, calls, solver="exact")
+        assert len(calls) == 2 * first
+
+    def test_adaptive_does_not_alias_fixed_grid(self, tmp_path):
+        runtime = self._runtime(tmp_path)
+        calls = []
+        self._characterize(runtime, calls, solver="exact")
+        first = len(calls)
+        self._characterize(runtime, calls, solver="exact", adaptive=True)
+        assert len(calls) == 2 * first
+
+    def test_fixed_grid_exact_keeps_pre_tag_key(self, tmp_path):
+        """The exact-solver fixed-grid curve must land under the
+        pre-existing (tag-free) key format so old caches stay warm."""
+        from repro.cells import default_technology
+        from repro.runtime import stable_hash
+
+        runtime = self._runtime(tmp_path)
+        self._characterize(runtime, [], solver="exact")
+        old_key = stable_hash("nominal-transfer", default_technology(),
+                              None, [float(w) for w in self.GRID], "h",
+                              DT, dict(self.PATH))
+        assert runtime.cache.get(old_key)  # raises CacheMiss if renamed
+
+    def test_adaptive_curve_matches_direct_characterization(self):
+        from repro.core import characterize_transfer
+        from repro.montecarlo import NominalModel
+
+        curve = self._characterize(None, [], adaptive=True,
+                                   solver="exact")
+        direct = characterize_transfer(
+            lambda: build_instance(sample=NominalModel(),
+                                   **dict(self.PATH)),
+            self.GRID, kind="h", dt=DT, adaptive=True, solver="exact")
+        assert list(curve.w_out) == pytest.approx(list(direct.w_out),
+                                                  abs=1e-15)
+
+
+class TestCalibrationChunkSignature:
+    """Mis-grouped fault-free lockstep chunks must fail loudly."""
+
+    def _payload(self, **overrides):
+        base = dict(sample=None, fault=None, tech=None, dt=DT,
+                    adaptive=False, lte_tol=None, solver="exact",
+                    omega_in=0.40e-9, kind="h", path_kwargs={})
+        base.update(overrides)
+        return base
+
+    def test_pulse_chunk_rejects_mixed_omega_in(self):
+        from repro.core.calibration import _fault_free_pulse_chunk_task
+
+        with pytest.raises(ValueError, match="omega_in"):
+            _fault_free_pulse_chunk_task(
+                [self._payload(), self._payload(omega_in=0.50e-9)])
+
+    def test_delay_chunk_rejects_mixed_dt(self):
+        from repro.core.calibration import _fault_free_delay_chunk_task
+
+        with pytest.raises(ValueError, match="dt"):
+            _fault_free_delay_chunk_task(
+                [self._payload(direction="rise"),
+                 self._payload(direction="rise", dt=2 * DT)])
+
+
 class TestDelayCalibration:
     def test_returns_test_and_delays(self, small_population_module,
                                      tech_module):

@@ -148,6 +148,155 @@ class TestCoverageCurve:
         assert not delay_is_all_finite([[1e-9, math.inf]])
 
 
+class TestVariableNCoverageCurve:
+    def test_per_point_populations(self):
+        curve = CoverageCurve("x", [1e3, 2e3, 4e3], [2, 6, 16],
+                              [8, 8, 16])
+        assert curve.ns == [8, 8, 16]
+        assert curve.coverage == [0.25, 0.75, 1.0]
+        assert not curve.uniform
+        assert curve.n_samples == 16  # compat: the largest population
+
+    def test_uniform_int_still_uniform(self):
+        curve = CoverageCurve("x", [1e3, 2e3], [1, 2], 4)
+        assert curve.uniform
+        assert curve.ns == [4, 4]
+
+    def test_intervals_use_per_point_n(self):
+        from repro.montecarlo import wilson_interval
+
+        curve = CoverageCurve("x", [1e3, 2e3], [2, 2], [4, 16])
+        assert curve.confidence_intervals() == [wilson_interval(2, 4),
+                                                wilson_interval(2, 16)]
+        hw = curve.halfwidths()
+        assert hw[1] < hw[0]  # more samples, tighter interval
+
+    def test_hits_validated_against_own_n(self):
+        # 5 hits is fine for the n=8 point but not for the n=4 point
+        CoverageCurve("x", [1e3, 2e3], [5, 0], [8, 4])
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3, 2e3], [0, 5], [8, 4])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3, 2e3], [1, 1], [4])
+
+    def test_non_positive_n_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3], [0], [0])
+        with pytest.raises(ValueError):
+            CoverageCurve("x", [1e3], [0], [2.5])
+
+    def test_repr_shows_range(self):
+        curve = CoverageCurve("x", [1e3, 2e3], [0, 0], [4, 16])
+        assert "n=4..16" in repr(curve)
+
+
+class TestLegacyCallablePath:
+    """The legacy ``r -> FaultSpec`` callable path must honour the same
+    measurement settings as the FaultSpec path — it used to silently
+    drop ``adaptive``/``lte_tol``/``solver`` and ignore the engine."""
+
+    PATH = dict(gate_kinds=("inv",) * 3)
+
+    def _sweep(self, **kwargs):
+        from repro.core.coverage import sweep_pulse_measurements
+        from repro.faults import ExternalOpen
+        from repro.montecarlo import sample_population
+
+        samples = sample_population(1, base_seed=3)
+        return sweep_pulse_measurements(
+            samples, lambda r: ExternalOpen(2, r), [8e3], 0.40e-9,
+            dt=8e-12, **dict(self.PATH, **kwargs))
+
+    def test_adaptive_honoured(self):
+        from repro.runtime import stats_scope
+
+        with stats_scope() as stats:
+            self._sweep(adaptive=True)
+        assert stats.total("adaptive_runs") > 0
+
+    def test_solver_honoured(self):
+        from repro.runtime import stats_scope
+        from repro.spice.mna import scipy_available
+
+        if not scipy_available():
+            pytest.skip("reuse solver needs scipy")
+        with stats_scope() as exact:
+            self._sweep(solver="exact")
+        assert exact.total("lu_reuses") == 0
+        with stats_scope() as reuse:
+            self._sweep(solver="reuse")
+        assert reuse.total("lu_reuses") > 0
+
+    def test_batched_engine_rejected(self):
+        with pytest.raises(ValueError, match="FaultSpec"):
+            self._sweep(engine="batched")
+
+    def test_delay_path_rejects_batched_too(self):
+        from repro.core.coverage import sweep_delay_measurements
+        from repro.faults import ExternalOpen
+        from repro.montecarlo import sample_population
+
+        samples = sample_population(1, base_seed=3)
+        with pytest.raises(ValueError, match="FaultSpec"):
+            sweep_delay_measurements(samples, lambda r: ExternalOpen(2, r),
+                                     [8e3], engine="batched", **self.PATH)
+
+
+class TestChunkSignature:
+    """Mis-grouped lockstep chunks must fail loudly: the chunk tasks
+    apply the first payload's settings to every sample."""
+
+    def _payloads(self, **overrides):
+        from repro.core.coverage import build_sweep_payloads
+        from repro.faults import ExternalOpen
+        from repro.montecarlo import sample_population
+
+        samples = sample_population(1, base_seed=3)
+        spec = dict(measure="pulse", omega_in=0.40e-9, kind="h")
+        spec.update(overrides)
+        payloads, _ = build_sweep_payloads(
+            samples, ExternalOpen(2, 8e3), [8e3], dt=8e-12,
+            engine="batched", with_keys=False, **spec)
+        return payloads
+
+    def test_mismatched_omega_in_rejected(self):
+        from repro.core.coverage import _sweep_chunk_task
+
+        chunk = self._payloads() + self._payloads(omega_in=0.50e-9)
+        with pytest.raises(ValueError, match="omega_in"):
+            _sweep_chunk_task(chunk)
+
+    def test_mismatched_solver_rejected(self):
+        from repro.core.coverage import _sweep_chunk_task
+
+        chunk = (self._payloads() + self._payloads())
+        chunk[1] = dict(chunk[1], solver="exact"
+                        if chunk[1]["solver"] != "exact" else "reuse")
+        with pytest.raises(ValueError, match="solver"):
+            _sweep_chunk_task(chunk)
+
+    def test_mismatched_fault_rejected(self):
+        from repro.core.coverage import _sweep_chunk_task
+        from repro.faults import BridgingFault
+
+        chunk = self._payloads() + self._payloads()
+        chunk[1] = dict(chunk[1], fault=BridgingFault(2, 8e3))
+        with pytest.raises(ValueError, match="fault"):
+            _sweep_chunk_task(chunk)
+
+    def test_compatible_chunks_pass_the_gate(self):
+        """Same settings, different samples: the signature must not
+        trip (faults compare by value, not identity — coalesced jobs
+        build separate but equal prototypes)."""
+        from repro.core.pulse import assert_chunk_compatible
+        from repro.core.coverage import SWEEP_CHUNK_FIELDS
+
+        chunk = self._payloads() + self._payloads()
+        assert_chunk_compatible(chunk, SWEEP_CHUNK_FIELDS)
+
+
 class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         from repro.core.coverage import sweep_pulse_measurements

@@ -112,6 +112,62 @@ class TestFig8And9Bridging:
         assert any(p > d for p, d in zip(pulse, delay))
 
 
+class TestAdaptiveCampaign:
+    """The adaptive-precision campaign must reproduce the fixed-grid
+    answer (its initial grid is the same 4-point grid, and with S = 4
+    every unresolved point escalates to the full population) while
+    spending fewer transients than a blind grid of equal resolution."""
+
+    REL_TOL = 0.3
+
+    @pytest.fixture(scope="class")
+    def adaptive_result(self, tiny_config):
+        from repro.core import run_adaptive_coverage
+
+        return run_adaptive_coverage(tiny_config, ci_width=0.3,
+                                     min_wave=2,
+                                     refine_rel_tol=self.REL_TOL)
+
+    def test_reproduces_fixed_grid_r_min(self, adaptive_result,
+                                         open_result, tiny_config):
+        fixed_rmin = open_result.pulse.curve(
+            "1.0*w_th").minimum_detectable_r()
+        assert fixed_rmin is not None
+        crossing = adaptive_result.pulse_sweep.crossings.get(1.0)
+        assert crossing is not None
+        grid = tiny_config.rop_resistances
+        prev = grid[grid.index(fixed_rmin) - 1]
+        # the refined bracket sits inside the fixed grid's crossing
+        # interval and is tighter than one grid step
+        assert prev * (1 - 1e-9) <= crossing["lo"]
+        assert crossing["hi"] <= fixed_rmin * (1 + 1e-9)
+        assert crossing["hi"] / crossing["lo"] <= 1 + self.REL_TOL + 1e-9
+
+    def test_saves_transients_vs_matched_grid(self, adaptive_result):
+        t = adaptive_result.transients
+        assert t["adaptive"] < t["matched_resolution"]
+        assert adaptive_result.reduction_vs_matched() >= 0.3
+
+    def test_curves_agree_with_fixed_grid_at_shared_points(
+            self, adaptive_result, open_result, tiny_config):
+        """At full-population points the adaptive curve must equal the
+        fixed-grid curve — same samples, same decision."""
+        fixed = open_result.pulse.curve("1.0*w_th")
+        curve = adaptive_result.pulse_curves["1.0*w_th"]
+        by_r = dict(zip(curve.resistances, zip(curve.coverage, curve.ns)))
+        n = tiny_config.n_samples
+        for r, c_fixed in zip(fixed.resistances, fixed.coverage):
+            c_adaptive, n_point = by_r[r]
+            if n_point == n:
+                assert c_adaptive == c_fixed
+
+    def test_report_folds_all_waves(self, adaptive_result):
+        report = adaptive_result.report
+        assert report.waves == (adaptive_result.pulse_sweep.waves
+                                + adaptive_result.delay_sweep.waves)
+        assert report.failed == 0
+
+
 class TestCalibrationQuality:
     def test_no_false_positives_at_nominal(self, open_result):
         """At R -> 0 an external open is invisible; coverage at the

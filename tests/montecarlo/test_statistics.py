@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.montecarlo import coverage_fraction, summarize, wilson_interval
+from repro.montecarlo import (coverage_fraction, samples_for_halfwidth,
+                              summarize, wilson_excludes, wilson_halfwidth,
+                              wilson_interval)
 
 
 class TestCoverageFraction:
@@ -60,3 +62,54 @@ class TestWilson:
             wilson_interval(1, 0)
         with pytest.raises(ValueError):
             wilson_interval(11, 10)
+
+
+class TestWilsonHalfwidth:
+    def test_matches_interval(self):
+        lo, hi = wilson_interval(7, 10)
+        assert wilson_halfwidth(7, 10) == pytest.approx(0.5 * (hi - lo))
+
+    def test_shrinks_with_n(self):
+        assert wilson_halfwidth(50, 100) < wilson_halfwidth(5, 10)
+
+    def test_worst_case_at_half(self):
+        # p = 0.5 is the widest interval at fixed n
+        assert wilson_halfwidth(8, 16) >= wilson_halfwidth(1, 16)
+        assert wilson_halfwidth(8, 16) >= wilson_halfwidth(15, 16)
+
+
+class TestWilsonExcludes:
+    def test_interior_target(self):
+        # 0/20 hits: the interval sits well below 0.5
+        assert wilson_excludes(0, 20, 0.5)
+        # 10/20: the interval straddles 0.5
+        assert not wilson_excludes(10, 20, 0.5)
+        # 20/20: entirely above 0.5
+        assert wilson_excludes(20, 20, 0.5)
+
+    def test_boundary_targets_need_certainty(self):
+        # target 1.0 can only be excluded by a miss, never by more hits
+        assert wilson_excludes(7, 8, 1.0)
+        assert not wilson_excludes(8, 8, 1.0)
+        # symmetric for target 0.0
+        assert wilson_excludes(1, 8, 0.0)
+        assert not wilson_excludes(0, 8, 0.0)
+
+
+class TestSamplesForHalfwidth:
+    def test_is_minimal(self):
+        for width in (0.2, 0.15, 0.1, 0.05):
+            n = samples_for_halfwidth(width)
+            assert wilson_halfwidth(n - n // 2, n) <= width
+            if n > 1:
+                m = n - 1
+                assert wilson_halfwidth(m - m // 2, m) > width
+
+    def test_monotone_in_width(self):
+        assert samples_for_halfwidth(0.05) > samples_for_halfwidth(0.2)
+
+    def test_rejects_degenerate_widths(self):
+        with pytest.raises(ValueError):
+            samples_for_halfwidth(0.0)
+        with pytest.raises(ValueError):
+            samples_for_halfwidth(0.5)

@@ -38,6 +38,22 @@ class TestSignature:
     def test_engine_relevant_fields_split_groups(self, change):
         assert not compatible(sweep(), sweep(**change))
 
+    def test_solver_modes_split_groups(self):
+        """Rows from different Newton solver modes agree only to
+        tolerance; their chunks must not coalesce (the chunk task takes
+        the solver from its first payload)."""
+        assert not compatible(sweep(solver="exact"), sweep(solver="reuse"))
+
+    def test_unset_solver_coalesces_with_resolved_default(self,
+                                                          monkeypatch):
+        """solver=None resolves to the host default before hashing, so
+        an explicit spelling of the default still coalesces."""
+        from repro.spice.mna import resolve_solver_mode
+
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        default = resolve_solver_mode(None)
+        assert compatible(sweep(), sweep(solver=default))
+
 
 class TestGroupPayloads:
     def test_offsets_partition_the_concatenation(self):

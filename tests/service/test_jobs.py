@@ -46,6 +46,20 @@ class TestNormalizeSpec:
         assert spec["samples"] == 5
         assert spec["fast"] is False
 
+    def test_sweep_solver_normalized(self):
+        spec = normalize_spec({"kind": "sweep", "resistances": [1e3],
+                               "solver": "exact"})
+        assert spec["solver"] == "exact"
+        # unset stays None (resolved to the host default at payload
+        # build time, not at submission time)
+        assert normalize_spec({"kind": "sweep",
+                               "resistances": [1e3]})["solver"] is None
+
+    def test_sweep_bad_solver_rejected(self):
+        with pytest.raises(SpecError):
+            normalize_spec({"kind": "sweep", "resistances": [1e3],
+                            "solver": "magic"})
+
 
 class TestStateMachine:
     def test_happy_path(self):
