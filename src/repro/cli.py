@@ -206,7 +206,8 @@ def _cmd_campaign(args):
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         timeout=args.task_timeout,
-        trace=args.trace)
+        trace=args.trace,
+        chaos=args.chaos)
     calibration = DefectCalibration.from_electrical(
         "external", [1e3, 4e3, 12e3, 40e3],
         dt=5e-12 if args.fast else 3e-12, runtime=runtime)
@@ -546,6 +547,10 @@ def build_parser():
     p.add_argument("--trace", default=None,
                    help="append one JSONL event per executed task to "
                         "this file (default: REPRO_TRACE or off)")
+    p.add_argument("--chaos", default=None,
+                   help="deterministic fault-injection spec, e.g. "
+                        "'kill=0.2,corrupt=0.1,seed=7' "
+                        "(default: REPRO_CHAOS or off)")
     p.add_argument("--fail-on-errors", default=True,
                    action=argparse.BooleanOptionalAction,
                    help="exit nonzero when any task failed, timed out, "

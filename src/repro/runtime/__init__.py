@@ -5,10 +5,12 @@ caching, checkpoint/resume and run telemetry.  See DESIGN.md
 ("Campaign runtime") for the architecture.
 """
 
-from .cache import CacheMiss, ResultCache
+from .cache import CacheMiss, ResultCache, atomic_write
+from .chaos import KILL_EXIT_CODE, ChaosConfig, ChaosSpecError
 from .checkpoint import CampaignCheckpoint
-from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
-                        TaskOutcome, TaskTimeout, WorkerError,
+from .executors import (FAILED, PoisonTask, ProcessPoolExecutor,
+                        SerialExecutor, TaskOutcome, TaskTimeout,
+                        WorkerCrash, WorkerError, backoff_schedule,
                         default_n_jobs)
 from .hashing import canonical_token, stable_hash
 from .runner import (DEFAULT_BATCH_SIZE, DEFAULT_CACHE_DIR,
@@ -25,8 +27,10 @@ __all__ = [
     "Runtime", "CampaignRun", "RunReport", "DEFAULT_CACHE_DIR",
     "DEFAULT_BATCH_SIZE", "engine_cache_tag", "CampaignCancelled",
     "SerialExecutor", "ProcessPoolExecutor", "TaskOutcome", "FAILED",
-    "WorkerError", "TaskTimeout", "default_n_jobs",
-    "ResultCache", "CacheMiss", "CampaignCheckpoint",
+    "WorkerError", "TaskTimeout", "WorkerCrash", "PoisonTask",
+    "default_n_jobs", "backoff_schedule",
+    "ChaosConfig", "ChaosSpecError", "KILL_EXIT_CODE",
+    "ResultCache", "CacheMiss", "atomic_write", "CampaignCheckpoint",
     "stable_hash", "canonical_token",
     "SCHEMA_VERSION", "SchemaVersionError", "check_schema_version",
     "SolverStats", "StatsView", "stats_scope", "current_stats",

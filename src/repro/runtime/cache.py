@@ -4,17 +4,20 @@ Layout (under the cache root, default ``.repro_cache/``)::
 
     objects/ab/abcdef...0123.json   # JSON-serialisable values
     objects/ab/abcdef...0123.npz    # numpy-array values
+    objects/quarantine/             # corrupt entries set aside by get()
     manifests/<campaign>.json       # checkpoint manifests (checkpoint.py)
 
 Keys are the stable hashes of :mod:`repro.runtime.hashing`; values are
 whatever a campaign task returned.  JSON is the primary format (with a
 small escape hatch for embedded numpy arrays); values that are a bare
 array or a flat ``{str: ndarray}`` mapping are stored as ``.npz``
-instead.  Writes are atomic (temp file + ``os.replace``) so a killed
-campaign never leaves a truncated entry behind.
+instead.  Writes are atomic and durable (temp file + fsync +
+``os.replace`` + directory fsync, see :func:`atomic_write`) so neither
+a killed campaign nor a power loss leaves a truncated entry behind.
 """
 
 import json
+import logging
 import math
 import os
 import tempfile
@@ -23,6 +26,53 @@ import numpy as np
 
 _ARRAY_TAG = "__ndarray__"
 _FLOAT_TAG = "__float__"
+
+
+def fsync_directory(path):
+    """Flush a directory's entry table to disk (best effort).
+
+    ``os.replace`` is atomic against concurrent readers but the rename
+    itself lives in the directory inode — without this a power loss can
+    forget a fully-written file.  Platforms whose directories cannot be
+    opened/fsynced (some network filesystems, Windows) are tolerated.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, writer, binary=False, durable=True):
+    """Write ``path`` atomically: temp file + fsync + ``os.replace``.
+
+    The single durable-write helper shared by the result cache, the
+    checkpoint manifests and the service job store.  ``writer`` receives
+    the open temp-file handle.  With ``durable`` (the default) the temp
+    file is fsynced before the rename and the directory after it, so a
+    power loss can neither tear the object nor lose the rename; pass
+    ``durable=False`` only for scratch data where tearing is acceptable.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb" if binary else "w") as handle:
+            writer(handle)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_directory(directory)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def _encode_float(value):
@@ -102,10 +152,20 @@ class CacheMiss(Exception):
 
 
 class ResultCache:
-    """Content-addressed store for campaign task results."""
+    """Content-addressed store for campaign task results.
+
+    Unreadable entries (truncated JSON, torn npz, bit rot) never fail a
+    campaign: :meth:`get` quarantines the bad file under
+    ``objects/quarantine/`` and reports a :class:`CacheMiss`, so the
+    runner simply recomputes the sample.  ``quarantined`` counts the
+    entries set aside over this instance's lifetime (the runner folds
+    the delta into the campaign report).
+    """
 
     def __init__(self, root=".repro_cache"):
         self.root = str(root)
+        #: corrupt entries moved aside by :meth:`get`
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
 
@@ -116,21 +176,60 @@ class ResultCache:
         base = os.path.join(self._object_dir(key), key)
         return base + ".json", base + ".npz"
 
+    def quarantine_dir(self):
+        return os.path.join(self.root, "objects", "quarantine")
+
+    def _quarantine(self, path, key, error):
+        """Move an unreadable object aside; never raises.
+
+        The original file is preserved (renamed into
+        ``objects/quarantine/``) for postmortems rather than deleted —
+        a recompute will land a fresh object at the original path.
+        """
+        destination = os.path.join(self.quarantine_dir(),
+                                   os.path.basename(path))
+        try:
+            os.makedirs(self.quarantine_dir(), exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            # quarantine is best effort; an undeletable corrupt file
+            # still reads as a miss on this run
+            destination = None
+        self.quarantined += 1
+        logging.getLogger("repro.cache").warning(
+            "quarantined corrupt cache object for key %s (%s: %s)%s",
+            key, type(error).__name__, error,
+            " -> {}".format(destination) if destination else "")
+
     def contains(self, key):
         json_path, npz_path = self._paths(key)
         return os.path.exists(json_path) or os.path.exists(npz_path)
 
     def get(self, key):
-        """Return the stored value, or raise :class:`CacheMiss`."""
+        """Return the stored value, or raise :class:`CacheMiss`.
+
+        A present-but-unreadable object (corrupt JSON/npz) is treated
+        as a miss: the bad file moves to ``objects/quarantine/`` and
+        the sample recomputes — one rotten entry must not kill a
+        campaign.
+        """
         json_path, npz_path = self._paths(key)
         if os.path.exists(json_path):
-            with open(json_path) as handle:
-                return _decode(json.load(handle))
+            try:
+                with open(json_path) as handle:
+                    return _decode(json.load(handle))
+            except Exception as exc:  # noqa: BLE001 - corrupt object
+                self._quarantine(json_path, key, exc)
+                raise CacheMiss(key) from None
         if os.path.exists(npz_path):
-            with np.load(npz_path) as data:
-                if data.files == ["__single__"]:
-                    return data["__single__"]
-                return {name: data[name] for name in data.files}
+            try:
+                with np.load(npz_path) as data:
+                    if data.files == ["__single__"]:
+                        return data["__single__"]
+                    return {name: data[name] for name in data.files}
+            except Exception as exc:  # noqa: BLE001 - corrupt object
+                self._quarantine(npz_path, key, exc)
+                raise CacheMiss(key) from None
         raise CacheMiss(key)
 
     def put(self, key, value):
@@ -153,27 +252,20 @@ class ResultCache:
         return key
 
     def _atomic_write(self, path, writer, binary=False):
-        mode = "wb" if binary else "w"
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, mode) as handle:
-                writer(handle)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write(path, writer, binary=binary)
 
     # ------------------------------------------------------------------
 
     def n_objects(self):
-        """Number of stored entries (walks the object tree)."""
+        """Number of readable stored entries (walks the object tree;
+        quarantined corpses are not entries)."""
         objects = os.path.join(self.root, "objects")
         if not os.path.isdir(objects):
             return 0
         count = 0
-        for _, _, files in os.walk(objects):
+        for directory, subdirs, files in os.walk(objects):
+            if directory == objects and "quarantine" in subdirs:
+                subdirs.remove("quarantine")
             count += sum(1 for f in files if not f.endswith(".tmp"))
         return count
 

@@ -9,12 +9,15 @@ manifest only records *progress* (and makes resume work even before the
 runner consults the cache key by key).
 
 Manifests are stored under ``<cache root>/manifests/<campaign key>.json``
-and written atomically, so a kill mid-write never corrupts one.
+and written atomically and durably (see
+:func:`~repro.runtime.cache.atomic_write`), so neither a kill mid-write
+nor a power loss corrupts one.
 """
 
 import json
 import os
-import tempfile
+
+from .cache import atomic_write
 
 
 class CampaignCheckpoint:
@@ -78,15 +81,8 @@ class CampaignCheckpoint:
             "n_completed": len(self.completed),
             "completed": sorted(self.completed),
         }
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(manifest, handle)
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write(self.path,
+                     lambda handle: json.dump(manifest, handle))
         self._dirty = 0
 
     def __repr__(self):

@@ -18,6 +18,7 @@ between the serial and process-pool backends.
 import os
 
 from .cache import CacheMiss, ResultCache
+from .chaos import ChaosConfig
 from .checkpoint import CampaignCheckpoint
 from .executors import (FAILED, ProcessPoolExecutor, SerialExecutor,
                         default_n_jobs)
@@ -124,10 +125,17 @@ class Runtime:
         it returns true the run flushes its checkpoint and raises
         :class:`CampaignCancelled` — cooperative cancellation for
         long-lived hosts such as the job service.
+    chaos:
+        A :class:`~repro.runtime.chaos.ChaosConfig` (or spec string such
+        as ``"kill=0.2,corrupt=0.1,seed=7"``) enabling deterministic
+        fault injection: worker kills/hangs are shipped to a process
+        pool executor, cache corruption is applied right after each
+        ``put``.  The serial backend is never disturbed — it is the
+        reference a chaos campaign's results are compared against.
     """
 
     def __init__(self, executor=None, cache=None, checkpoint_every=8,
-                 trace=None, should_stop=None):
+                 trace=None, should_stop=None, chaos=None):
         self.executor = SerialExecutor() if executor is None else executor
         if isinstance(cache, str):
             cache = ResultCache(cache)
@@ -137,18 +145,24 @@ class Runtime:
             trace = TraceWriter(trace)
         self.trace = trace
         self.should_stop = should_stop
+        if isinstance(chaos, str):
+            chaos = ChaosConfig.parse(chaos)
+        self.chaos = chaos
+        if chaos is not None and hasattr(self.executor, "chaos"):
+            self.executor.chaos = chaos
 
     # ------------------------------------------------------------------
 
     @classmethod
     def from_env(cls, jobs=None, cache_dir=None, timeout=None, retries=1,
-                 checkpoint_every=8, trace=None):
+                 checkpoint_every=8, trace=None, chaos=None):
         """Build a runtime from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``.
 
         ``jobs=None`` reads ``REPRO_JOBS`` (unset: serial); ``jobs=0``
         means "all CPUs".  ``cache_dir=None`` reads ``REPRO_CACHE_DIR``
         (unset: caching disabled).  ``trace=None`` reads ``REPRO_TRACE``
-        (unset: tracing disabled).
+        (unset: tracing disabled).  ``chaos=None`` reads ``REPRO_CHAOS``
+        (unset: no fault injection).
         """
         if jobs is None:
             env = os.environ.get("REPRO_JOBS")
@@ -164,8 +178,11 @@ class Runtime:
         cache = ResultCache(cache_dir) if cache_dir else None
         if trace is None:
             trace = os.environ.get("REPRO_TRACE") or None
+        if chaos is None:
+            chaos = ChaosConfig.from_env()
         return cls(executor=executor, cache=cache,
-                   checkpoint_every=checkpoint_every, trace=trace)
+                   checkpoint_every=checkpoint_every, trace=trace,
+                   chaos=chaos)
 
     @classmethod
     def from_config(cls, config):
@@ -195,6 +212,7 @@ class Runtime:
             "error": outcome.error_type,
             "duration_s": outcome.duration,
             "retries": outcome.retries,
+            "crashes": outcome.crashes,
             "stats": outcome.stats,
         }
         event.update(extra)
@@ -225,6 +243,7 @@ class Runtime:
                 "error": outcome.error_type,
                 "duration_s": share,
                 "retries": outcome.retries,
+                "crashes": outcome.crashes,
                 "stats": ({"counters": per_item} if per_item is not None
                           else None),
                 "chunk": outcome.index,
@@ -285,6 +304,31 @@ class Runtime:
 
         return check
 
+    def _robustness_baseline(self):
+        """Snapshot the cumulative fault counters before a run.
+
+        ``pool_rebuilds`` lives on the (long-lived, shareable) executor
+        and ``quarantined`` on the cache; a report must book only this
+        run's delta, not every run's history.
+        """
+        return (getattr(self.executor, "pool_rebuilds", 0),
+                self.cache.quarantined if self.cache is not None else 0)
+
+    def _fold_robustness(self, report, baseline):
+        rebuilds, quarantined = baseline
+        report.pool_rebuilds += (
+            getattr(self.executor, "pool_rebuilds", 0) - rebuilds)
+        if self.cache is not None:
+            report.cache_quarantined += (
+                self.cache.quarantined - quarantined)
+
+    def _chaos_corrupt(self, key):
+        """Chaos hook: maybe clobber the object just written for ``key``
+        (exercises the corrupt-cache quarantine path on the next read)."""
+        if (self.chaos is not None and self.cache is not None
+                and self.chaos.should_corrupt(key)):
+            self.chaos.corrupt_object(self.cache, key)
+
     def run(self, fn, payloads, keys=None, label="campaign",
             report=None, progress=None, should_stop=None):
         """Map ``fn`` over ``payloads``; returns a :class:`CampaignRun`.
@@ -310,6 +354,7 @@ class Runtime:
             if progress is not None:
                 progress(done[0], n)
 
+        robustness = self._robustness_baseline()
         checkpoint, pending = self._scan_cache(keys, values, n, label,
                                                report, settle)
 
@@ -317,6 +362,7 @@ class Runtime:
             index = pending[outcome.index]
             if outcome.ok and self.cache is not None and keys is not None:
                 self.cache.put(keys[index], outcome.value)
+                self._chaos_corrupt(keys[index])
                 checkpoint.mark_done(keys[index])
             self._trace_task(label, index,
                              keys[index] if keys is not None else None,
@@ -344,6 +390,7 @@ class Runtime:
         finally:
             if checkpoint is not None:
                 checkpoint.flush()
+            self._fold_robustness(report, robustness)
             report.finish()
         self._trace_report(report)
         return CampaignRun(values, errors, report)
@@ -381,6 +428,7 @@ class Runtime:
             if progress is not None:
                 progress(done[0], n)
 
+        robustness = self._robustness_baseline()
         checkpoint, pending = self._scan_cache(keys, values, n, label,
                                                report, settle)
         chunks = [pending[i:i + batch_size]
@@ -408,6 +456,7 @@ class Runtime:
                     and keys is not None):
                 for index, value in zip(chunk, unpacked):
                     self.cache.put(keys[index], value)
+                    self._chaos_corrupt(keys[index])
                     checkpoint.mark_done(keys[index])
             self._trace_chunk(label, chunk, keys, outcome)
             settle(len(chunk))
@@ -435,6 +484,7 @@ class Runtime:
         finally:
             if checkpoint is not None:
                 checkpoint.flush()
+            self._fold_robustness(report, robustness)
             report.finish()
         self._trace_report(report)
         return CampaignRun(values, errors, report)

@@ -17,8 +17,10 @@ are grandfathered in as major 1 (their shape *is* the 1.x shape).
 
 #: version stamped on every record written by this tree
 #: (1.1: additive ``waves`` field on run-report summaries, per-point
-#: ``n`` section on coverage-result exports)
-SCHEMA_VERSION = "1.1"
+#: ``n`` section on coverage-result exports; 1.2: additive robustness
+#: counters — ``worker_crashes`` / ``poisoned`` / ``pool_rebuilds`` /
+#: ``cache_quarantined`` on summaries, ``crashes`` on trace task events)
+SCHEMA_VERSION = "1.2"
 
 #: majors this tree knows how to read
 KNOWN_MAJORS = (1,)

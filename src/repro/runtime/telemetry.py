@@ -45,6 +45,15 @@ class RunReport:
         self.timeouts = 0
         self.retries = 0
         self.resumed = 0
+        #: worker deaths observed (including crashes later recovered by
+        #: a retry — the final outcome carries the cumulative count)
+        self.worker_crashes = 0
+        #: tasks quarantined as poison (repeat crashers / hangs)
+        self.poisoned = 0
+        #: executor pool respawns after a fault or timeout reclaim
+        self.pool_rebuilds = 0
+        #: corrupt cache objects set aside and recomputed
+        self.cache_quarantined = 0
         #: per-executed-task wall-clock durations (seconds); batched
         #: chunks contribute one entry per *item* (chunk time / items)
         self.durations = []
@@ -99,6 +108,10 @@ class RunReport:
         share = outcome.duration / n_items
         self.durations.extend([share] * n_items)
         self.retries += outcome.retries
+        # worker deaths are booked even when a retry recovered the task
+        # (the final ok outcome carries the cumulative crash count) — a
+        # crash that happened must not disappear from the record
+        self.worker_crashes += getattr(outcome, "crashes", 0)
         if outcome.stats:
             self.solver.merge(outcome.stats)
         if outcome.ok:
@@ -108,6 +121,8 @@ class RunReport:
             self.failure_taxonomy[outcome.error_type] += n_items
             if outcome.timed_out:
                 self.timeouts += n_items
+            if getattr(outcome, "poisoned", False):
+                self.poisoned += n_items
 
     # ------------------------------------------------------------------
 
@@ -177,6 +192,10 @@ class RunReport:
             "failed": self.failed,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "poisoned": self.poisoned,
+            "pool_rebuilds": self.pool_rebuilds,
+            "cache_quarantined": self.cache_quarantined,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "resumed": self.resumed,
@@ -257,6 +276,13 @@ class RunReport:
             lines.append("  failures: {} ({}), {} timeouts, {} retries"
                          .format(s["failed"], taxonomy, s["timeouts"],
                                  s["retries"]))
+        if (self.worker_crashes or self.poisoned or self.pool_rebuilds
+                or self.cache_quarantined):
+            lines.append(
+                "  robustness: {} worker crashes, {} poisoned, "
+                "{} pool rebuilds, {} cache quarantined".format(
+                    s["worker_crashes"], s["poisoned"],
+                    s["pool_rebuilds"], s["cache_quarantined"]))
         return "\n".join(lines)
 
     def __repr__(self):

@@ -210,6 +210,10 @@ class Job:
         self.started_at = None
         self.finished_at = None
         self.error = None
+        #: failure taxonomy entry for FAILED jobs — the exception class
+        #: name (``WorkerCrash``, ``PoisonTask``, ``TaskTimeout``, or an
+        #: ordinary task exception), machine-readable unlike ``error``
+        self.error_kind = None
         #: JSON-serialisable result payload (kind-specific)
         self.result = None
         #: the job's RunReport summary dict (per-job telemetry scope)
@@ -265,6 +269,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "error_kind": self.error_kind,
             "result": self.result,
             "report": self.report,
             "progress": dict(self.progress),
@@ -283,6 +288,7 @@ class Job:
         job.started_at = record.get("started_at")
         job.finished_at = record.get("finished_at")
         job.error = record.get("error")
+        job.error_kind = record.get("error_kind")
         job.result = record.get("result")
         job.report = record.get("report")
         job.progress = dict(record.get("progress")

@@ -172,6 +172,9 @@ class JobManager:
                                 else runtime_factory)
         self.jobs = {}
         self.events = {}
+        #: True when the last :meth:`start` recovery skipped unparsable
+        #: job records (details in ``store.load_errors`` and the log)
+        self.recovered_with_errors = False
         self._lock = threading.RLock()
         self._stop = threading.Event()
         self._threads = []
@@ -226,7 +229,9 @@ class JobManager:
 
     def _recover(self):
         """Rebuild world state from the job store (restart path)."""
-        for record in self.store.load_all():
+        records = self.store.load_all()
+        self.recovered_with_errors = bool(self.store.load_errors)
+        for record in records:
             with self._lock:
                 if record["id"] in self.jobs:
                     # Submitted to *this* manager before start(): it is
@@ -324,6 +329,7 @@ class JobManager:
             "max_concurrency": self.max_concurrency,
             "jobs": total,
             "aggregate": self.aggregate,
+            "recovered_with_errors": self.recovered_with_errors,
         }
 
     # ------------------------------------------------------------------
@@ -352,11 +358,13 @@ class JobManager:
         self._emit_state(job)
         return True
 
-    def _finish(self, job, state, result=None, report=None, error=None):
+    def _finish(self, job, state, result=None, report=None, error=None,
+                error_kind=None):
         with self._lock:
             job.result = result
             job.report = report
             job.error = error
+            job.error_kind = error_kind
             job.transition(state)
             self._running.discard(job.id)
         self.store.save(job.to_record())
@@ -399,7 +407,8 @@ class JobManager:
                         member.transition(J.RUNNING)
                     self._finish(member, J.FAILED,
                                  error="{}: {}".format(
-                                     type(exc).__name__, exc))
+                                     type(exc).__name__, exc),
+                                 error_kind=type(exc).__name__)
 
     def _run_single(self, job):
         if not self._begin(job):
@@ -414,7 +423,8 @@ class JobManager:
             self._finish(job, J.CANCELLED)
         except Exception as exc:  # noqa: BLE001 - job failure taxonomy
             self._finish(job, J.FAILED,
-                         error="{}: {}".format(type(exc).__name__, exc))
+                         error="{}: {}".format(type(exc).__name__, exc),
+                         error_kind=type(exc).__name__)
         else:
             self._finish(job, J.DONE, result=result, report=report)
 
@@ -468,7 +478,8 @@ class JobManager:
             for job in live:
                 self._finish(job, J.FAILED,
                              error="{}: {}".format(type(exc).__name__,
-                                                   exc))
+                                                   exc),
+                             error_kind=type(exc).__name__)
             return
         summary = report.summary()
         summary["aggregated_jobs"] = [job.id for job in live]
@@ -476,8 +487,13 @@ class JobManager:
         for job, rows, (start, end) in zip(live, per_job, offsets):
             bad = [i - start for i in run.errors if start <= i < end]
             if bad:
+                kinds = sorted({type(run.errors[i]).__name__
+                                for i in run.errors
+                                if start <= i < end})
                 self._finish(job, J.FAILED, report=summary,
-                             error="samples {} failed".format(bad))
+                             error="samples {} failed ({})".format(
+                                 bad, ", ".join(kinds)),
+                             error_kind=kinds[0])
             else:
                 result = {"rows": [[float(v) for v in row]
                                    for row in rows],
@@ -503,6 +519,7 @@ class JobManager:
             self._finish(job, J.CANCELLED)
         except Exception as exc:  # noqa: BLE001 - job failure taxonomy
             self._finish(job, J.FAILED,
-                         error="{}: {}".format(type(exc).__name__, exc))
+                         error="{}: {}".format(type(exc).__name__, exc),
+                         error_kind=type(exc).__name__)
         else:
             self._finish(job, J.DONE, result=result, report=report)

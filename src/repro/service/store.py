@@ -5,8 +5,10 @@ Layout (under the service data dir, default ``.repro_service/``)::
     jobs/<job id>.json     # schema-stamped job records (this module)
     cache/                 # the shared runtime ResultCache + manifests
 
-Records are written atomically (temp file + ``os.replace``) on every
-state transition, so a killed server never leaves a torn record; a
+Records are written atomically and durably (temp file + fsync +
+``os.replace`` + directory fsync, via
+:func:`~repro.runtime.cache.atomic_write`) on every state transition,
+so neither a killed server nor a power loss leaves a torn record; a
 restarted server rebuilds its world from this directory — terminal
 jobs answer GETs without recomputation, and QUEUED/RUNNING records are
 re-queued (the runtime checkpoint under ``cache/`` turns their
@@ -18,11 +20,13 @@ pulse has no width) survive the round trip.
 """
 
 import json
+import logging
 import os
-import tempfile
 
-from ..runtime.cache import decode_jsonable, encode_jsonable
+from ..runtime.cache import atomic_write, decode_jsonable, encode_jsonable
 from ..runtime.schema import check_schema_version
+
+logger = logging.getLogger("repro.service")
 
 
 class JobStore:
@@ -30,6 +34,8 @@ class JobStore:
 
     def __init__(self, root):
         self.root = str(root)
+        #: paths that failed to parse on the last :meth:`load_all`
+        self.load_errors = []
 
     @property
     def jobs_dir(self):
@@ -44,16 +50,9 @@ class JobStore:
         """Atomically (re)write one job record."""
         os.makedirs(self.jobs_dir, exist_ok=True)
         path = self.path(record["id"])
-        fd, tmp = tempfile.mkstemp(dir=self.jobs_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(encode_jsonable(record), handle,
-                          sort_keys=True, allow_nan=False)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write(path, lambda handle: json.dump(
+            encode_jsonable(record), handle, sort_keys=True,
+            allow_nan=False))
         return path
 
     def load(self, job_id):
@@ -69,11 +68,15 @@ class JobStore:
     def load_all(self):
         """Every stored record, oldest submission first.
 
-        Records that fail to parse are skipped (a torn ``.tmp`` file
-        or foreign junk must not brick the whole server on boot);
-        schema-incompatible records *raise* — silently dropping jobs a
-        future tree wrote would look like data loss.
+        Records that fail to parse are skipped — a torn ``.tmp`` file
+        or foreign junk must not brick the whole server on boot — but
+        never *silently*: each skip is logged with its path and
+        collected in ``load_errors`` so the manager can surface a
+        ``recovered_with_errors`` flag instead of pretending the boot
+        was clean.  Schema-incompatible records *raise* — silently
+        dropping jobs a future tree wrote would look like data loss.
         """
+        self.load_errors = []
         if not os.path.isdir(self.jobs_dir):
             return []
         records = []
@@ -84,7 +87,11 @@ class JobStore:
             try:
                 with open(path) as handle:
                     record = decode_jsonable(json.load(handle))
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                logger.warning(
+                    "skipping unparsable job record %s (%s: %s)",
+                    path, type(exc).__name__, exc)
+                self.load_errors.append(path)
                 continue
             records.append(check_schema_version(
                 record, what="job record {}".format(name)))

@@ -1,0 +1,1 @@
+"""Campaign-level chaos-injection suite (tests/chaos)."""

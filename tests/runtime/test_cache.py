@@ -134,3 +134,110 @@ class TestProtocol:
         json_path, _ = cache._paths(key)
         assert os.sep + os.path.join("objects", key[:2]) + os.sep \
             in json_path
+
+
+class TestCorruptObjects:
+    def test_corrupt_json_reads_as_miss_and_quarantines(self, cache):
+        key = stable_hash("torn-json")
+        cache.put(key, {"v": 1})
+        json_path, _ = cache._paths(key)
+        with open(json_path, "w") as handle:
+            handle.write('{"v": 1')  # truncated write
+        with pytest.raises(CacheMiss):
+            cache.get(key)
+        assert cache.quarantined == 1
+        # the bad file moved aside (postmortem material), key now free
+        assert not os.path.exists(json_path)
+        assert os.path.exists(os.path.join(cache.quarantine_dir(),
+                                           os.path.basename(json_path)))
+        assert not cache.contains(key)
+
+    def test_corrupt_npz_reads_as_miss_and_quarantines(self, cache):
+        key = stable_hash("torn-npz")
+        cache.put(key, np.array([1.0, 2.0]))
+        _, npz_path = cache._paths(key)
+        with open(npz_path, "wb") as handle:
+            handle.write(b"\x00garbage\xff")
+        with pytest.raises(CacheMiss):
+            cache.get(key)
+        assert cache.quarantined == 1
+        assert os.path.exists(os.path.join(cache.quarantine_dir(),
+                                           os.path.basename(npz_path)))
+
+    def test_recompute_after_quarantine(self, cache):
+        key = stable_hash("recompute")
+        cache.put(key, {"v": 1})
+        json_path, _ = cache._paths(key)
+        with open(json_path, "w") as handle:
+            handle.write("not json at all")
+        with pytest.raises(CacheMiss):
+            cache.get(key)
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+
+    def test_quarantine_files_not_counted_as_objects(self, cache):
+        key = stable_hash("count-after")
+        cache.put(key, {"v": 1})
+        json_path, _ = cache._paths(key)
+        with open(json_path, "w") as handle:
+            handle.write("{broken")
+        with pytest.raises(CacheMiss):
+            cache.get(key)
+        assert cache.n_objects() == 0
+        # intact entries are unaffected
+        other = stable_hash("count-other")
+        cache.put(other, {"v": 3})
+        assert cache.get(other) == {"v": 3}
+        assert cache.n_objects() == 1
+
+
+class TestDurableWrites:
+    def test_atomic_write_fsyncs_file_and_directory(self, tmp_path,
+                                                    monkeypatch):
+        from repro.runtime.cache import atomic_write
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: synced.append(fd) or
+                            real_fsync(fd))
+        path = str(tmp_path / "durable.json")
+        atomic_write(path, lambda h: h.write('{"v": 1}'))
+        # one fsync for the temp file, one for the directory entry
+        assert len(synced) == 2
+        with open(path) as handle:
+            assert json.load(handle) == {"v": 1}
+
+    def test_atomic_write_not_durable_skips_fsync(self, tmp_path,
+                                                  monkeypatch):
+        from repro.runtime.cache import atomic_write
+
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        path = str(tmp_path / "scratch.json")
+        atomic_write(path, lambda h: h.write("{}"), durable=False)
+        assert synced == []
+
+    def test_cache_put_goes_through_durable_write(self, cache,
+                                                  monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: synced.append(fd) or
+                            real_fsync(fd))
+        cache.put(stable_hash("synced"), {"v": 1})
+        assert len(synced) >= 2
+
+    def test_checkpoint_flush_goes_through_durable_write(self, tmp_path,
+                                                         monkeypatch):
+        from repro.runtime import CampaignCheckpoint
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: synced.append(fd) or
+                            real_fsync(fd))
+        checkpoint = CampaignCheckpoint("deadbeef", root=str(tmp_path))
+        checkpoint.mark_done("k1")
+        checkpoint.flush()
+        assert len(synced) >= 2

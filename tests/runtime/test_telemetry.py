@@ -152,3 +152,51 @@ class TestChunkAttribution:
         report = RunReport()
         report.record_outcome(_ok(retries=2), n_items=5)
         assert report.retries == 2
+
+
+class TestRobustnessCounters:
+    def test_recovered_crashes_booked_on_ok_outcomes(self):
+        report = RunReport().start()
+        report.record_outcome(TaskOutcome(0, value=1, crashes=2))
+        report.record_outcome(TaskOutcome(1, value=2))
+        report.finish()
+        assert report.worker_crashes == 2
+        assert report.completed == 2
+        assert report.failed == 0
+
+    def test_poisoned_counted_and_in_taxonomy(self):
+        report = RunReport().start()
+        report.record_outcome(TaskOutcome(
+            0, error_type="PoisonTask", error_message="quarantined",
+            poisoned=True, crashed=True, crashes=3))
+        report.finish()
+        assert report.poisoned == 1
+        assert report.failed == 1
+        assert report.worker_crashes == 3
+        assert report.failure_taxonomy["PoisonTask"] == 1
+
+    def test_summary_carries_robustness_fields(self):
+        report = RunReport().start()
+        report.record_outcome(TaskOutcome(0, value=1, crashes=1))
+        report.pool_rebuilds = 2
+        report.cache_quarantined = 3
+        report.finish()
+        summary = report.summary()
+        assert summary["worker_crashes"] == 1
+        assert summary["poisoned"] == 0
+        assert summary["pool_rebuilds"] == 2
+        assert summary["cache_quarantined"] == 3
+
+    def test_format_report_shows_robustness_line_only_when_nonzero(self):
+        quiet = RunReport().start()
+        quiet.record_outcome(TaskOutcome(0, value=1))
+        quiet.finish()
+        assert "robustness" not in quiet.format_report()
+
+        noisy = RunReport().start()
+        noisy.record_outcome(TaskOutcome(0, value=1, crashes=1))
+        noisy.pool_rebuilds = 1
+        noisy.finish()
+        text = noisy.format_report()
+        assert "robustness: 1 worker crashes" in text
+        assert "1 pool rebuilds" in text

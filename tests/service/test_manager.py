@@ -314,3 +314,47 @@ class TestWorkerResilience:
         # the worker is still alive and serves the next job
         healthy = manager.submit(CAMPAIGN)
         assert wait_terminal(manager, healthy.id).state == J.DONE
+
+
+class TestRecoveredWithErrors:
+    def test_flag_set_when_records_unparsable(self, make_manager,
+                                              tmp_path):
+        import os
+
+        data_dir = str(tmp_path / "svc")
+        manager = make_manager(lambda s, r, p: ({}, None),
+                               data_dir=data_dir)
+        jobs_dir = manager.store.jobs_dir
+        os.makedirs(jobs_dir, exist_ok=True)
+        with open(os.path.join(jobs_dir, "torn.json"), "w") as f:
+            f.write("{not json")
+        manager.start()
+        assert manager.recovered_with_errors is True
+        assert manager.stats()["recovered_with_errors"] is True
+
+    def test_flag_clear_on_clean_boot(self, make_manager, tmp_path):
+        manager = make_manager(lambda s, r, p: ({}, None),
+                               data_dir=str(tmp_path / "svc"))
+        manager.start()
+        assert manager.recovered_with_errors is False
+        assert manager.stats()["recovered_with_errors"] is False
+
+
+class TestErrorKind:
+    def test_failed_job_records_error_kind(self, make_manager):
+        def runner(spec, runtime, progress):
+            raise ValueError("boom")
+
+        manager = make_manager(runner).start()
+        job = manager.submit(CAMPAIGN)
+        final = wait_terminal(manager, job.id)
+        assert final.state == J.FAILED
+        assert final.error_kind == "ValueError"
+        assert final.to_record()["error_kind"] == "ValueError"
+
+    def test_done_job_has_no_error_kind(self, make_manager):
+        manager = make_manager(lambda s, r, p: ({"ok": 1}, None)).start()
+        job = manager.submit(CAMPAIGN)
+        final = wait_terminal(manager, job.id)
+        assert final.state == J.DONE
+        assert final.error_kind is None

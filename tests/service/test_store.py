@@ -82,3 +82,44 @@ class TestLoadAll:
 
     def test_empty_dir(self, tmp_path):
         assert JobStore(tmp_path / "fresh").load_all() == []
+
+    def test_junk_files_logged_and_collected(self, tmp_path, caplog):
+        import logging
+
+        store = JobStore(tmp_path)
+        store.save(make_record())
+        os.makedirs(store.jobs_dir, exist_ok=True)
+        torn = os.path.join(store.jobs_dir, "torn.json")
+        with open(torn, "w") as f:
+            f.write("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro.service"):
+            records = store.load_all()
+        assert len(records) == 1
+        assert store.load_errors == [torn]
+        assert any(torn in message for message in caplog.messages)
+
+    def test_load_errors_reset_on_clean_reload(self, tmp_path):
+        store = JobStore(tmp_path)
+        os.makedirs(store.jobs_dir, exist_ok=True)
+        torn = os.path.join(store.jobs_dir, "torn.json")
+        with open(torn, "w") as f:
+            f.write("{")
+        store.load_all()
+        assert store.load_errors
+        os.unlink(torn)
+        store.load_all()
+        assert store.load_errors == []
+
+
+class TestDurability:
+    def test_save_fsyncs_record_and_directory(self, tmp_path,
+                                              monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: synced.append(fd) or
+                            real_fsync(fd))
+        store = JobStore(tmp_path)
+        store.save(make_record())
+        # one fsync for the temp file, one for the jobs/ directory
+        assert len(synced) >= 2
